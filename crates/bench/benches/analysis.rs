@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the static-analysis substrate: CFG
+//! construction + post-dominators, liveness, and the register-metadata
+//! write path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gscalar_compress::regmeta::MetaConfig;
+use gscalar_compress::{full_mask, RegFileMeta};
+use gscalar_isa::{Cfg, CmpOp, KernelBuilder, Liveness, Operand};
+use std::hint::black_box;
+
+/// A kernel with nested control flow and loops, ~100 instructions.
+fn analysis_kernel() -> gscalar_isa::Kernel {
+    let mut b = KernelBuilder::new("bench");
+    let x = b.mov(Operand::Imm(0));
+    let i = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, i.into(), Operand::Imm(8)).into(),
+        |b| {
+            let p = b.isetp(CmpOp::Gt, x.into(), Operand::Imm(4));
+            b.if_else(
+                p.into(),
+                |b| {
+                    for _ in 0..8 {
+                        b.iadd_to(x, x.into(), Operand::Imm(1));
+                    }
+                },
+                |b| {
+                    let q = b.isetp(CmpOp::Lt, x.into(), Operand::Imm(2));
+                    b.if_then(q.into(), |b| {
+                        for _ in 0..8 {
+                            b.imul(x.into(), Operand::Imm(3));
+                        }
+                    });
+                },
+            );
+            b.iadd_to(i, i.into(), Operand::Imm(1));
+        },
+    );
+    for _ in 0..40 {
+        b.iadd_to(x, x.into(), Operand::Imm(1));
+    }
+    b.exit();
+    b.build().expect("bench kernel builds")
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let k = analysis_kernel();
+    c.bench_function("analysis/cfg_postdom", |b| {
+        b.iter(|| Cfg::build(black_box(k.instrs())))
+    });
+    let cfg = Cfg::build(k.instrs());
+    c.bench_function("analysis/liveness", |b| {
+        b.iter(|| Liveness::analyze(black_box(k.instrs()), &cfg, k.num_regs()))
+    });
+}
+
+fn bench_regmeta(c: &mut Criterion) {
+    let addresses: Vec<u32> = (0..32u32).map(|i| 0x1000_0000 + i * 4).collect();
+    let uniform = vec![7u32; 32];
+    c.bench_function("regmeta/write_compressed", |b| {
+        let mut m = RegFileMeta::new(64, MetaConfig::g_scalar(32));
+        let mut r = 0usize;
+        b.iter(|| {
+            m.write(r % 64, black_box(&addresses), full_mask(32));
+            r += 1;
+        })
+    });
+    c.bench_function("regmeta/write_scalar_read", |b| {
+        let mut m = RegFileMeta::new(64, MetaConfig::g_scalar(32));
+        b.iter(|| {
+            m.write(0, black_box(&uniform), full_mask(32));
+            black_box(m.read(0, full_mask(32)).scalar)
+        })
+    });
+    c.bench_function("regmeta/divergent_write", |b| {
+        let mut m = RegFileMeta::new(64, MetaConfig::g_scalar(32));
+        b.iter(|| m.write(0, black_box(&uniform), 0x0000_FFFF))
+    });
+}
+
+criterion_group!(benches, bench_cfg, bench_regmeta);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the compression hardware models:
+//! the byte-wise scheme (ours) vs BDI (Warped-Compression baseline).
+//!
+//! The paper's Section 3.1 argues the byte-wise scheme is simpler than
+//! BDI in hardware; in software the same structural simplicity shows up
+//! as fewer operations per register.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gscalar_compress::{bdi, bytewise, full_mask};
+use std::hint::black_box;
+
+fn patterns() -> Vec<(&'static str, Vec<u32>)> {
+    vec![
+        ("scalar", vec![42u32; 32]),
+        (
+            "addresses",
+            (0..32u32).map(|i| 0x1000_0000 + i * 4).collect(),
+        ),
+        (
+            "noise",
+            (0..32u32)
+                .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(9))
+                .collect(),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for (name, values) in patterns() {
+        g.bench_function(format!("bytewise/{name}"), |b| {
+            b.iter(|| bytewise::encode(black_box(&values), full_mask(32)))
+        });
+        g.bench_function(format!("bdi/{name}"), |b| {
+            b.iter(|| bdi::compress(black_box(&values)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("roundtrip");
+    for (name, values) in patterns() {
+        g.bench_function(format!("bytewise/{name}"), |b| {
+            b.iter_batched(
+                || values.clone(),
+                |v| {
+                    let compressed = bytewise::compress(&v);
+                    bytewise::decompress(black_box(&compressed), 32)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_divergent_encode(c: &mut Criterion) {
+    let values: Vec<u32> = (0..32u32).map(|i| if i % 3 == 0 { 9 } else { 7 }).collect();
+    let mask: u64 = (0..32).filter(|l| l % 3 != 0).fold(0, |m, l| m | (1 << l));
+    c.bench_function("encode/divergent_mask", |b| {
+        b.iter(|| bytewise::encode(black_box(&values), black_box(mask)))
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_roundtrip, bench_divergent_encode);
+criterion_main!(benches);

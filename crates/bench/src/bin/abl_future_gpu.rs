@@ -1,0 +1,65 @@
+//! Extension study: scalar-bank scalability on a scaled-up "future GPU"
+//! (Section 4.1).
+//!
+//! The paper argues that a single dedicated scalar bank does not scale:
+//! "future GPUs also tend to have more hardware resources, such as
+//! larger register file with more banks and more SIMT execution
+//! pipelines. Thus, relying on only a single bank for scalar values may
+//! not be a scalable approach." This study doubles the SM's front-end
+//! and execution resources and compares the prior-work design's
+//! scalar-bank serialization against G-Scalar's per-bank BVR arrays.
+
+use gscalar_bench::row;
+use gscalar_core::Arch;
+use gscalar_sim::{Gpu, GpuConfig};
+use gscalar_workloads::{suite, Scale};
+
+fn future_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480();
+    c.schedulers = 4;
+    c.alu_pipes = 4;
+    c.operand_collectors = 32;
+    c.rf_banks = 32;
+    c.regs_per_sm = 64 * 1024;
+    c.threads_per_sm = 2048;
+    c
+}
+
+fn main() {
+    println!("Extension: scalar-bank serializations per 1k instructions");
+    println!(
+        "{}",
+        row(
+            "bench",
+            &["gtx480".into(), "future".into(), "gs-480".into(), "gs-fut".into()]
+        )
+    );
+    let now = GpuConfig::gtx480();
+    let fut = future_gpu();
+    let mut tot = [0.0f64; 4];
+    for w in suite(Scale::Full) {
+        let run = |cfg: &GpuConfig, arch: Arch| {
+            let mut gpu = Gpu::new(cfg.clone(), arch.config());
+            let mut mem = w.memory.clone();
+            let s = gpu.run(&w.kernel, w.launch, &mut mem);
+            1000.0 * s.pipe.scalar_bank_serializations as f64 / s.instr.warp_instrs as f64
+        };
+        let vals = [
+            run(&now, Arch::AluScalar),
+            run(&fut, Arch::AluScalar),
+            run(&now, Arch::GScalar),
+            run(&fut, Arch::GScalar),
+        ];
+        for (t, v) in tot.iter_mut().zip(vals) {
+            *t += v;
+        }
+        let cells: Vec<String> = vals.iter().map(|v| format!("{v:.1}")).collect();
+        println!("{}", row(&w.abbr, &cells));
+    }
+    let avg: Vec<String> = tot.iter().map(|t| format!("{:.1}", t / 17.0)).collect();
+    println!("{}", row("AVG", &avg));
+    println!();
+    println!("with more schedulers and pipelines, pressure on the single scalar");
+    println!("bank grows; G-Scalar's 16 (or 32) per-bank BVR arrays never");
+    println!("serialize (Section 4.1's scalability argument).");
+}

@@ -1,0 +1,43 @@
+//! Figure 12: normalized register-file dynamic power under the four
+//! register-file designs, plus average compression ratios.
+
+use gscalar_bench::{mean, row};
+use gscalar_core::{Arch, Runner};
+use gscalar_power::RfScheme;
+use gscalar_sim::GpuConfig;
+use gscalar_workloads::{suite, Scale};
+
+fn main() {
+    println!("Figure 12: normalized RF dynamic power (baseline = 1.0)");
+    let head: Vec<String> = ["scalar-only", "W-C", "ours", "ratio", "bdi-ratio"]
+        .iter()
+        .map(|s| (*s).into())
+        .collect();
+    println!("{}", row("bench", &head));
+    let runner = Runner::new(GpuConfig::gtx480());
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for w in suite(Scale::Full) {
+        let rows = runner.rf_power_normalized(&w);
+        let get = |s: RfScheme| rows.iter().find(|(x, _)| *x == s).expect("scheme").1;
+        let report = runner.run(&w, Arch::Baseline);
+        let ours_ratio = report.stats.rf.ours_ratio();
+        let bdi_ratio = report.stats.rf.bdi_ratio();
+        let vals = [
+            get(RfScheme::ScalarRf),
+            get(RfScheme::WarpedCompression),
+            get(RfScheme::ByteWise),
+            ours_ratio,
+            bdi_ratio,
+        ];
+        for (c, v) in cols.iter_mut().zip(vals) {
+            c.push(v);
+        }
+        let cells: Vec<String> = vals.iter().map(|x| format!("{x:.3}")).collect();
+        println!("{}", row(&w.abbr, &cells));
+    }
+    let avg: Vec<String> = cols.iter().map(|c| format!("{:.3}", mean(c))).collect();
+    println!("{}", row("AVG", &avg));
+    println!();
+    println!("paper: scalar RF 63% of baseline, ours 46% (i.e. -54%); ours beats");
+    println!("W-C slightly; compression ratio ours 2.17 vs BDI 2.13.");
+}

@@ -1,0 +1,28 @@
+//! Quick calibration probe: per-benchmark characteristics vs paper targets.
+
+use gscalar_core::{Arch, Runner};
+use gscalar_sim::GpuConfig;
+use gscalar_workloads::{suite, Scale};
+use std::time::Instant;
+
+fn main() {
+    let runner = Runner::new(GpuConfig::gtx480());
+    println!("{:<6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "bench", "winstr", "div%", "dscal%", "alu%", "sfu%", "mem%", "half%", "tot%", "cycles", "t(s)");
+    for w in suite(Scale::Full) {
+        let t0 = Instant::now();
+        let r = runner.run(&w, Arch::Baseline);
+        let s = &r.stats;
+        let wi = s.instr.warp_instrs as f64;
+        println!("{:<6} {:>9} {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>8} {:>6.2}",
+            w.abbr, s.instr.warp_instrs,
+            100.0*s.instr.divergent_instrs as f64/wi,
+            100.0*s.instr.eligible_divergent as f64/wi,
+            100.0*s.instr.eligible_alu as f64/wi,
+            100.0*s.instr.eligible_sfu as f64/wi,
+            100.0*s.instr.eligible_mem as f64/wi,
+            100.0*s.instr.eligible_half as f64/wi,
+            100.0*s.instr.eligible_total() as f64/wi,
+            s.cycles, t0.elapsed().as_secs_f64());
+    }
+}

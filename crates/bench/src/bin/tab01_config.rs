@@ -1,0 +1,22 @@
+//! Table 1: simulator configuration.
+
+use gscalar_sim::GpuConfig;
+
+fn main() {
+    let c = GpuConfig::gtx480();
+    println!("Table 1: simulator configuration (GTX 480-like)");
+    println!("  # of SMs             {}", c.num_sms);
+    println!("  Registers per SM     {} KB", c.regs_per_sm * 4 / 1024);
+    println!("  SM frequency         {:.1} GHz", c.sm_clock_hz / 1e9);
+    println!("  Register file banks  {}", c.rf_banks);
+    println!("  NoC frequency        {:.1} GHz", c.noc_clock_hz / 1e9);
+    println!("  OC per SM            {}", c.operand_collectors);
+    println!("  Warp size            {}", c.warp_size);
+    println!("  Schedulers per SM    {}", c.schedulers);
+    println!("  SIMT exe width       {}", c.simt_width);
+    println!("  L1$ per SM           {} KB", c.l1_bytes / 1024);
+    println!("  Threads per SM       {}", c.threads_per_sm);
+    println!("  Memory channels      {}", c.mem_channels);
+    println!("  CTAs per SM          {}", c.ctas_per_sm);
+    println!("  L2$ size             {} KB", c.l2_bytes / 1024);
+}

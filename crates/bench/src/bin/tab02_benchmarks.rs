@@ -1,0 +1,18 @@
+//! Table 2: the benchmark suite.
+
+use gscalar_workloads::{suite, Scale};
+
+fn main() {
+    println!("Table 2: benchmarks (synthetic reproductions; see DESIGN.md)");
+    println!("{:<12} {:<6} {:>8} {:>8} {:>8}", "benchmark", "abbr", "ctas", "block", "instrs");
+    for w in suite(Scale::Full) {
+        println!(
+            "{:<12} {:<6} {:>8} {:>8} {:>8}",
+            w.name,
+            w.abbr,
+            w.launch.grid.count(),
+            w.launch.block.count(),
+            w.kernel.len()
+        );
+    }
+}

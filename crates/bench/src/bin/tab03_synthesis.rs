@@ -1,0 +1,32 @@
+//! Table 3: compressor/decompressor synthesis results and the chip-level
+//! overhead arithmetic of Section 5.1.
+
+use gscalar_power::synthesis::{
+    rf_area_overhead_fraction, sm_overhead, COMPRESSOR, COMPRESSORS_PER_SM, DECOMPRESSOR,
+    DECOMPRESSORS_PER_SM,
+};
+
+fn main() {
+    println!("Table 3: encoder/decoder synthesis at 1.4 GHz (40 nm, incl. pipeline regs)");
+    println!("{:<14} {:>12} {:>10} {:>10}", "", "area (um^2)", "delay(ns)", "power(mW)");
+    println!(
+        "{:<14} {:>12.0} {:>10.2} {:>10.2}",
+        "decompressor", DECOMPRESSOR.area_um2, DECOMPRESSOR.delay_ns, DECOMPRESSOR.power_mw
+    );
+    println!(
+        "{:<14} {:>12.0} {:>10.2} {:>10.2}",
+        "compressor", COMPRESSOR.area_um2, COMPRESSOR.delay_ns, COMPRESSOR.power_mw
+    );
+    let o = sm_overhead();
+    println!();
+    println!(
+        "per SM: {} decompressors + {} compressors = {:.2} W, {:.3} mm^2",
+        DECOMPRESSORS_PER_SM, COMPRESSORS_PER_SM, o.power_w, o.area_mm2
+    );
+    println!(
+        "RF area overhead: {:.0}% (full-register), {:.0}% (half-register)",
+        100.0 * rf_area_overhead_fraction(false),
+        100.0 * rf_area_overhead_fraction(true)
+    );
+    println!("paper: 0.32 W (1.6%) and 0.16 mm^2 (0.7%) per SM; RF +3%/+7%.");
+}

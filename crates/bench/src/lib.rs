@@ -1,0 +1,43 @@
+//! Shared harness utilities for the figure/table binaries.
+
+use gscalar_core::{Arch, RunReport, Runner, Workload};
+use gscalar_sim::GpuConfig;
+use gscalar_workloads::{suite, Scale};
+
+/// Formats a row of right-aligned numeric cells after a left-aligned
+/// label.
+#[must_use]
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<12}");
+    for c in cells {
+        s.push_str(&format!("{c:>12}"));
+    }
+    s
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the full suite on one architecture, returning per-benchmark
+/// reports in Table 2 order.
+#[must_use]
+pub fn run_suite(arch: Arch, cfg: &GpuConfig) -> Vec<(String, RunReport)> {
+    let runner = Runner::new(cfg.clone());
+    suite(Scale::Full)
+        .iter()
+        .map(|w| (w.abbr.clone(), runner.run(w, arch)))
+        .collect()
+}
+
+/// Runs one workload on every Figure 11 architecture.
+#[must_use]
+pub fn run_workload_all_archs(w: &Workload, cfg: &GpuConfig) -> Vec<RunReport> {
+    Runner::new(cfg.clone()).run_all(w)
+}

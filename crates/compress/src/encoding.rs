@@ -1,0 +1,187 @@
+//! The `enc[3:0]` encoding states and their hardware costs.
+
+use std::fmt;
+
+/// The compression state of a vector register, i.e. which prefix of
+/// most-significant byte planes is identical across (active) lanes.
+///
+/// Matches the paper's `enc[3:0]` encoding (Section 3.2): only prefix
+/// forms are representable — if `byte\[3\]` differs between any two lanes
+/// the register is incompressible even when lower bytes agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Encoding {
+    /// `0000₂` — no byte plane is uniform; the register is stored raw.
+    None,
+    /// `1000₂` — `byte\[3\]` is uniform (1-byte base, 3 delta bytes/lane).
+    B3,
+    /// `1100₂` — `byte[3:2]` uniform (2-byte base, 2 delta bytes/lane).
+    B32,
+    /// `1110₂` — `byte[3:1]` uniform (3-byte base, 1 delta byte/lane).
+    B321,
+    /// `1111₂` — all four bytes uniform: the register holds a scalar.
+    Scalar,
+}
+
+impl Encoding {
+    /// All encodings from weakest to strongest.
+    pub const ALL: [Encoding; 5] = [
+        Encoding::None,
+        Encoding::B3,
+        Encoding::B32,
+        Encoding::B321,
+        Encoding::Scalar,
+    ];
+
+    /// The raw `enc[3:0]` bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        match self {
+            Encoding::None => 0b0000,
+            Encoding::B3 => 0b1000,
+            Encoding::B32 => 0b1100,
+            Encoding::B321 => 0b1110,
+            Encoding::Scalar => 0b1111,
+        }
+    }
+
+    /// Reconstructs an encoding from its `enc[3:0]` bits.
+    ///
+    /// Returns `None` for the eleven non-prefix bit patterns, which the
+    /// hardware never generates.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<Encoding> {
+        match bits {
+            0b0000 => Some(Encoding::None),
+            0b1000 => Some(Encoding::B3),
+            0b1100 => Some(Encoding::B32),
+            0b1110 => Some(Encoding::B321),
+            0b1111 => Some(Encoding::Scalar),
+            _ => None,
+        }
+    }
+
+    /// Number of most-significant byte planes folded into the base value.
+    #[must_use]
+    pub fn base_bytes(self) -> usize {
+        match self {
+            Encoding::None => 0,
+            Encoding::B3 => 1,
+            Encoding::B32 => 2,
+            Encoding::B321 => 3,
+            Encoding::Scalar => 4,
+        }
+    }
+
+    /// Per-lane delta bytes that must still be stored in the SRAM arrays.
+    #[must_use]
+    pub fn delta_bytes_per_lane(self) -> usize {
+        4 - self.base_bytes()
+    }
+
+    /// Whether the register holds a single scalar value.
+    #[must_use]
+    pub fn is_scalar(self) -> bool {
+        self == Encoding::Scalar
+    }
+
+    /// Number of SRAM arrays activated to read/write `lanes` lanes of
+    /// this register when each byte plane of 16 lanes lives in its own
+    /// array (Section 3.2's reordered layout; a 32-lane register's bank
+    /// has 8 arrays, two per byte plane).
+    ///
+    /// A scalar register activates zero data arrays — only the small
+    /// BVR/EBR array, accounted separately.
+    #[must_use]
+    pub fn arrays_active(self, lanes: usize) -> usize {
+        let arrays_per_plane = lanes.div_ceil(super::CHUNK_LANES);
+        self.delta_bytes_per_lane() * arrays_per_plane
+    }
+
+    /// Compressed size in bytes (base + per-lane deltas) for `lanes`
+    /// lanes; the 4 encoding bits are not counted.
+    #[must_use]
+    pub fn compressed_bytes(self, lanes: usize) -> usize {
+        self.base_bytes() + self.delta_bytes_per_lane() * lanes
+    }
+
+    /// The weaker (less compressed) of two encodings.
+    #[must_use]
+    pub fn meet(self, other: Encoding) -> Encoding {
+        self.min(other)
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Encoding::None => "none",
+            Encoding::B3 => "1-byte",
+            Encoding::B32 => "2-byte",
+            Encoding::B321 => "3-byte",
+            Encoding::Scalar => "scalar",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for e in Encoding::ALL {
+            assert_eq!(Encoding::from_bits(e.bits()), Some(e));
+        }
+        assert_eq!(Encoding::from_bits(0b0101), None);
+        assert_eq!(Encoding::from_bits(0b0111), None);
+    }
+
+    #[test]
+    fn byte_accounting_adds_up() {
+        for e in Encoding::ALL {
+            assert_eq!(e.base_bytes() + e.delta_bytes_per_lane(), 4);
+        }
+    }
+
+    #[test]
+    fn arrays_active_for_32_lanes() {
+        // 32 lanes → 2 arrays per byte plane (8 arrays per bank total).
+        assert_eq!(Encoding::None.arrays_active(32), 8);
+        assert_eq!(Encoding::B3.arrays_active(32), 6);
+        assert_eq!(Encoding::B32.arrays_active(32), 4);
+        assert_eq!(Encoding::B321.arrays_active(32), 2);
+        assert_eq!(Encoding::Scalar.arrays_active(32), 0);
+    }
+
+    #[test]
+    fn arrays_active_for_16_lanes() {
+        assert_eq!(Encoding::None.arrays_active(16), 4);
+        assert_eq!(Encoding::B321.arrays_active(16), 1);
+        assert_eq!(Encoding::Scalar.arrays_active(16), 0);
+    }
+
+    #[test]
+    fn compressed_bytes_matches_paper_example() {
+        // Section 3.1: 3-byte base + 8 delta bytes for 8 lanes.
+        assert_eq!(Encoding::B321.compressed_bytes(8), 3 + 8);
+        // A 32-lane scalar is 4 bytes regardless of lane count.
+        assert_eq!(Encoding::Scalar.compressed_bytes(32), 4);
+        // Uncompressed: 4 bytes per lane.
+        assert_eq!(Encoding::None.compressed_bytes(32), 128);
+    }
+
+    #[test]
+    fn ordering_weakest_to_strongest() {
+        assert!(Encoding::None < Encoding::B3);
+        assert!(Encoding::B321 < Encoding::Scalar);
+        assert_eq!(Encoding::Scalar.meet(Encoding::B32), Encoding::B32);
+        assert_eq!(Encoding::None.meet(Encoding::Scalar), Encoding::None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Encoding::Scalar.to_string(), "scalar");
+        assert_eq!(Encoding::B321.to_string(), "3-byte");
+    }
+}

@@ -1,0 +1,168 @@
+//! Encoding histograms backing the paper's Figure 8 (register-file
+//! access distribution by operand value similarity).
+
+use std::fmt;
+
+use crate::encoding::Encoding;
+
+/// Histogram of register-file accesses by value-similarity category.
+///
+/// Categories follow Figure 8: `scalar`, `3-byte`, `2-byte`, `1-byte`,
+/// `other` (no uniform byte prefix), plus `divergent` for accesses made
+/// by divergent instructions (counted separately regardless of value
+/// similarity, as the paper does).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EncodingHistogram {
+    /// Accesses to scalar registers.
+    pub scalar: u64,
+    /// Accesses with a uniform 3-byte prefix.
+    pub b3: u64,
+    /// Accesses with a uniform 2-byte prefix.
+    pub b2: u64,
+    /// Accesses with a uniform 1-byte prefix.
+    pub b1: u64,
+    /// Accesses with no uniform prefix.
+    pub other: u64,
+    /// Accesses made by divergent instructions.
+    pub divergent: u64,
+}
+
+impl EncodingHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a non-divergent access with the given encoding.
+    pub fn record(&mut self, enc: Encoding) {
+        match enc {
+            Encoding::Scalar => self.scalar += 1,
+            Encoding::B321 => self.b3 += 1,
+            Encoding::B32 => self.b2 += 1,
+            Encoding::B3 => self.b1 += 1,
+            Encoding::None => self.other += 1,
+        }
+    }
+
+    /// Records an access made by a divergent instruction.
+    pub fn record_divergent(&mut self) {
+        self.divergent += 1;
+    }
+
+    /// Total accesses recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.scalar + self.b3 + self.b2 + self.b1 + self.other + self.divergent
+    }
+
+    /// Fraction of accesses in each category, in Figure 8 order:
+    /// `[scalar, 3-byte, 2-byte, 1-byte, other, divergent]`.
+    ///
+    /// Returns all zeros when nothing was recorded.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 6];
+        }
+        let t = t as f64;
+        [
+            self.scalar as f64 / t,
+            self.b3 as f64 / t,
+            self.b2 as f64 / t,
+            self.b1 as f64 / t,
+            self.other as f64 / t,
+            self.divergent as f64 / t,
+        ]
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &EncodingHistogram) {
+        self.scalar += other.scalar;
+        self.b3 += other.b3;
+        self.b2 += other.b2;
+        self.b1 += other.b1;
+        self.other += other.other;
+        self.divergent += other.divergent;
+    }
+}
+
+impl fmt::Display for EncodingHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [s, b3, b2, b1, o, d] = self.fractions();
+        write!(
+            f,
+            "scalar {:.1}% | 3-byte {:.1}% | 2-byte {:.1}% | 1-byte {:.1}% | other {:.1}% | divergent {:.1}%",
+            s * 100.0,
+            b3 * 100.0,
+            b2 * 100.0,
+            b1 * 100.0,
+            o * 100.0,
+            d * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_mapping_matches_figure8_labels() {
+        let mut h = EncodingHistogram::new();
+        h.record(Encoding::Scalar);
+        h.record(Encoding::B321); // "3-byte"
+        h.record(Encoding::B32); // "2-byte"
+        h.record(Encoding::B3); // "1-byte"
+        h.record(Encoding::None);
+        h.record_divergent();
+        assert_eq!(h.scalar, 1);
+        assert_eq!(h.b3, 1);
+        assert_eq!(h.b2, 1);
+        assert_eq!(h.b1, 1);
+        assert_eq!(h.other, 1);
+        assert_eq!(h.divergent, 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = EncodingHistogram::new();
+        for _ in 0..3 {
+            h.record(Encoding::Scalar);
+        }
+        h.record(Encoding::None);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((h.fractions()[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = EncodingHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fractions(), [0.0; 6]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EncodingHistogram::new();
+        a.record(Encoding::Scalar);
+        let mut b = EncodingHistogram::new();
+        b.record(Encoding::Scalar);
+        b.record_divergent();
+        a.merge(&b);
+        assert_eq!(a.scalar, 2);
+        assert_eq!(a.divergent, 1);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let mut h = EncodingHistogram::new();
+        h.record(Encoding::Scalar);
+        h.record(Encoding::None);
+        let s = h.to_string();
+        assert!(s.contains("scalar 50.0%"));
+    }
+}

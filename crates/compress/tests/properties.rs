@@ -1,0 +1,134 @@
+//! Property-based tests for the compression schemes and register
+//! metadata invariants.
+
+use gscalar_compress::regmeta::MetaConfig;
+use gscalar_compress::{bdi, bytewise, full_mask, Encoding, RegFileMeta};
+use proptest::prelude::*;
+
+fn lanes32() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<u32>(), 32)
+}
+
+/// Values with realistic GPU structure: uniform, address-like, or noisy.
+fn structured32() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| vec![v; 32]),
+        (any::<u32>(), 1u32..64).prop_map(|(base, step)| {
+            (0..32u32).map(|i| base.wrapping_add(i * step)).collect()
+        }),
+        lanes32(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn compress_roundtrips(values in structured32()) {
+        let c = bytewise::compress(&values);
+        prop_assert_eq!(bytewise::decompress(&c, 32), values);
+    }
+
+    #[test]
+    fn compressed_never_larger_than_raw(values in structured32()) {
+        let c = bytewise::compress(&values);
+        prop_assert!(c.size_bytes() <= 32 * 4);
+    }
+
+    #[test]
+    fn encoding_is_mask_monotone(values in lanes32(), mask in 1u64..u32::MAX as u64) {
+        // Restricting the active mask can only strengthen (or keep) the
+        // encoding: fewer lanes can't disagree more.
+        let full = full_mask(32);
+        let full_enc = bytewise::encode(&values, full);
+        let sub_enc = bytewise::encode(&values, mask & full);
+        prop_assert!(sub_enc >= full_enc, "subset {sub_enc:?} < full {full_enc:?}");
+    }
+
+    #[test]
+    fn single_lane_is_always_scalar(values in lanes32(), lane in 0usize..32) {
+        prop_assert_eq!(
+            bytewise::encode(&values, 1u64 << lane),
+            Encoding::Scalar
+        );
+    }
+
+    #[test]
+    fn base_value_agrees_with_first_active(values in lanes32(), mask in 1u64..u32::MAX as u64) {
+        let mask = mask & full_mask(32);
+        prop_assume!(mask != 0);
+        let lane = mask.trailing_zeros() as usize;
+        prop_assert_eq!(bytewise::first_active(&values, mask), values[lane]);
+    }
+
+    #[test]
+    fn eq_planes_matches_direct_comparison(values in structured32()) {
+        let eq = bytewise::eq_planes(&values, full_mask(32));
+        for byte in 0..4 {
+            let all_same = values
+                .iter()
+                .all(|v| (v >> (byte * 8)) & 0xFF == (values[0] >> (byte * 8)) & 0xFF);
+            prop_assert_eq!(eq & (1 << byte) != 0, all_same, "byte plane {}", byte);
+        }
+    }
+
+    #[test]
+    fn chunk_encodings_are_at_least_the_full_encoding(values in structured32()) {
+        let full_enc = bytewise::encode(&values, full_mask(32));
+        for (enc, _) in bytewise::encode_chunks(&values) {
+            prop_assert!(enc >= full_enc);
+        }
+    }
+
+    #[test]
+    fn bdi_size_bounded_and_consistent(values in structured32()) {
+        let r = bdi::compress(&values);
+        prop_assert!(r.bytes <= r.raw_bytes());
+        prop_assert!(r.ratio() >= 1.0);
+        // Deterministic.
+        prop_assert_eq!(bdi::compress(&values), r);
+    }
+
+    #[test]
+    fn bdi_repeated_iff_uniform_nonzero(v in 1u32..) {
+        let r = bdi::compress(&[v; 32]);
+        prop_assert_eq!(r.mode, bdi::BdiMode::Repeated);
+    }
+
+    #[test]
+    fn regmeta_write_read_scalar_consistency(values in structured32()) {
+        let mut m = RegFileMeta::new(1, MetaConfig::g_scalar(32));
+        let w = m.write(0, &values, full_mask(32));
+        let r = m.read(0, full_mask(32));
+        let uniform = values.iter().all(|&v| v == values[0]);
+        prop_assert_eq!(w.enc.is_scalar(), uniform);
+        prop_assert_eq!(r.scalar, uniform);
+        // Arrays touched on read never exceed the bank's arrays.
+        prop_assert!(r.arrays_read <= 8);
+    }
+
+    #[test]
+    fn regmeta_divergent_roundtrip(values in structured32(), mask in 1u64..u32::MAX as u64) {
+        let mask = mask & full_mask(32);
+        prop_assume!(mask != 0 && mask != full_mask(32));
+        let mut m = RegFileMeta::new(1, MetaConfig::g_scalar(32));
+        m.write(0, &values, mask);
+        // Same-mask read reports scalar exactly when active lanes agree.
+        let active_uniform = {
+            let first = values[mask.trailing_zeros() as usize];
+            (0..32).filter(|l| mask & (1 << l) != 0).all(|l| values[l] == first)
+        };
+        let r = m.read(0, mask);
+        prop_assert_eq!(r.scalar, active_uniform);
+        // A different mask must never report a divergent scalar.
+        let other = mask ^ full_mask(32);
+        if other != 0 {
+            prop_assert!(!m.read(0, other).scalar);
+        }
+    }
+
+    #[test]
+    fn arrays_written_match_encoding(values in structured32()) {
+        let mut m = RegFileMeta::new(1, MetaConfig::compression_only(32));
+        let w = m.write(0, &values, full_mask(32));
+        prop_assert_eq!(w.arrays_written, w.stored.arrays_active(32));
+    }
+}

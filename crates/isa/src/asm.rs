@@ -1,0 +1,550 @@
+//! Textual assembly: parsing and printing.
+//!
+//! The format round-trips with [`print_kernel`]/[`parse_kernel`]:
+//!
+//! ```text
+//! .kernel saxpy regs=6
+//!     S2R R0, SR_TID.X
+//!     SHL R1, R0, 0x2
+//!     IADD R2, R1, 0x1000
+//!     LD.GLOBAL R3, [R2]
+//!     FMUL R4, R3, 0x40000000
+//!     ST.GLOBAL [R2], R4
+//!     EXIT
+//! ```
+//!
+//! Branch targets may be numeric instruction indices (`BRA 12`) or
+//! labels (`BRA done` with a `done:` line elsewhere). Comments start
+//! with `//` or `#` and run to end of line.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{Guard, Instr, InstrKind, Operand};
+use crate::kernel::{Kernel, KernelError};
+use crate::op::{AluOp, CmpOp, SReg, SfuOp, Space};
+use crate::reg::{Pred, Reg};
+
+/// An assembly parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error occurred (0 for kernel-level errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<KernelError> for ParseError {
+    fn from(e: KernelError) -> Self {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Prints a kernel in parseable assembly form (numeric branch targets).
+#[must_use]
+pub fn print_kernel(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        ".kernel {} regs={}",
+        kernel.name(),
+        kernel.num_regs()
+    ));
+    if kernel.shared_mem_bytes() > 0 {
+        out.push_str(&format!(" shared={}", kernel.shared_mem_bytes()));
+    }
+    out.push('\n');
+    for i in kernel.instrs() {
+        out.push_str("    ");
+        out.push_str(&i.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a complete kernel from assembly text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors, unknown mnemonics,
+/// undefined labels, or kernel validation failures.
+pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
+    let mut name = String::from("kernel");
+    let mut num_regs: Option<u16> = None;
+    let mut shared = 0u32;
+    let mut raw: Vec<(usize, String)> = Vec::new(); // (line_no, text)
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut max_reg_seen: u16 = 0;
+
+    let mut pc = 0usize;
+    for (ln0, line) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = strip_comment(line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".kernel") {
+            for (i, tok) in rest.split_whitespace().enumerate() {
+                if i == 0 {
+                    name = tok.to_owned();
+                } else if let Some(v) = tok.strip_prefix("regs=") {
+                    num_regs = Some(v.parse().map_err(|_| err(ln, "bad regs= value"))?);
+                } else if let Some(v) = tok.strip_prefix("shared=") {
+                    shared = v.parse().map_err(|_| err(ln, "bad shared= value"))?;
+                } else {
+                    return Err(err(ln, format!("unknown directive token `{tok}`")));
+                }
+            }
+            continue;
+        }
+        // Possibly several `label:` prefixes before the instruction.
+        let mut rest = line;
+        loop {
+            if let Some(colon) = rest.find(':') {
+                let (head, tail) = rest.split_at(colon);
+                let head = head.trim();
+                if !head.is_empty()
+                    && head.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && !head.starts_with('@')
+                {
+                    if labels.insert(head.to_owned(), pc).is_some() {
+                        return Err(err(ln, format!("label `{head}` defined twice")));
+                    }
+                    rest = tail[1..].trim();
+                    continue;
+                }
+            }
+            break;
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        raw.push((ln, rest.to_owned()));
+        pc += 1;
+    }
+
+    let mut instrs = Vec::with_capacity(raw.len());
+    for (ln, line) in &raw {
+        let i = parse_instr_inner(line, *ln, Some(&labels))?;
+        for r in i.src_regs().into_iter().chain(i.dst_reg()) {
+            if !r.is_zero() {
+                max_reg_seen = max_reg_seen.max(u16::from(r.index()) + 1);
+            }
+        }
+        instrs.push(i);
+    }
+    let regs = num_regs.unwrap_or(max_reg_seen.max(1));
+    let kernel = if shared > 0 {
+        Kernel::with_shared_mem(name, instrs, regs, shared)?
+    } else {
+        Kernel::new(name, instrs, regs)?
+    };
+    Ok(kernel)
+}
+
+/// Parses a single instruction (no labels available).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or unknown mnemonics.
+pub fn parse_instr(line: &str) -> Result<Instr, ParseError> {
+    parse_instr_inner(strip_comment(line).trim(), 1, None)
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find("//").or_else(|| line.find('#'));
+    match cut {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_instr_inner(
+    line: &str,
+    ln: usize,
+    labels: Option<&HashMap<String, usize>>,
+) -> Result<Instr, ParseError> {
+    let mut rest = line.trim();
+    // Guard.
+    let mut guard = Guard::ALWAYS;
+    if let Some(g) = rest.strip_prefix('@') {
+        let (negate, g) = match g.strip_prefix('!') {
+            Some(g) => (true, g),
+            None => (false, g),
+        };
+        let end = g
+            .find(char::is_whitespace)
+            .ok_or_else(|| err(ln, "guard with no instruction"))?;
+        let pred = parse_pred(&g[..end], ln)?;
+        guard = Guard { pred, negate };
+        rest = g[end..].trim();
+    }
+    // Mnemonic.
+    let (mn, ops) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    let operands: Vec<String> = if ops.is_empty() {
+        Vec::new()
+    } else {
+        ops.split(',').map(|s| s.trim().to_owned()).collect()
+    };
+    let kind = parse_kind(mn, &operands, ln, labels)?;
+    Ok(Instr::new(guard, kind))
+}
+
+fn parse_kind(
+    mn: &str,
+    ops: &[String],
+    ln: usize,
+    labels: Option<&HashMap<String, usize>>,
+) -> Result<InstrKind, ParseError> {
+    let want = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("{mn} expects {n} operands, got {}", ops.len())))
+        }
+    };
+    // ALU ops.
+    if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+        let op = *op;
+        want(1 + op.arity())?;
+        let dst = parse_reg(&ops[0], ln)?;
+        let a = parse_operand(&ops[1], ln)?;
+        let b = if op.arity() >= 2 {
+            parse_operand(&ops[2], ln)?
+        } else {
+            Operand::Reg(Reg::RZ)
+        };
+        let c = if op.arity() >= 3 {
+            parse_operand(&ops[3], ln)?
+        } else {
+            Operand::Reg(Reg::RZ)
+        };
+        return Ok(InstrKind::Alu { op, dst, a, b, c });
+    }
+    // SFU ops.
+    if let Some(op) = SfuOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+        want(2)?;
+        return Ok(InstrKind::Sfu {
+            op: *op,
+            dst: parse_reg(&ops[0], ln)?,
+            a: parse_operand(&ops[1], ln)?,
+        });
+    }
+    // SETP.
+    if let Some(cmp_s) = mn.strip_prefix("ISETP.") {
+        let cmp = parse_cmp(cmp_s, ln)?;
+        want(3)?;
+        return Ok(InstrKind::SetP {
+            cmp,
+            float: false,
+            dst: parse_pred(&ops[0], ln)?,
+            a: parse_operand(&ops[1], ln)?,
+            b: parse_operand(&ops[2], ln)?,
+        });
+    }
+    if let Some(cmp_s) = mn.strip_prefix("FSETP.") {
+        let cmp = parse_cmp(cmp_s, ln)?;
+        want(3)?;
+        return Ok(InstrKind::SetP {
+            cmp,
+            float: true,
+            dst: parse_pred(&ops[0], ln)?,
+            a: parse_operand(&ops[1], ln)?,
+            b: parse_operand(&ops[2], ln)?,
+        });
+    }
+    // Memory.
+    if let Some(sp) = mn.strip_prefix("LD.") {
+        let space = parse_space(sp, ln)?;
+        want(2)?;
+        let dst = parse_reg(&ops[0], ln)?;
+        let (addr, offset) = parse_mem(&ops[1], ln)?;
+        return Ok(InstrKind::Ld {
+            space,
+            dst,
+            addr,
+            offset,
+        });
+    }
+    if let Some(sp) = mn.strip_prefix("ST.") {
+        let space = parse_space(sp, ln)?;
+        want(2)?;
+        let (addr, offset) = parse_mem(&ops[0], ln)?;
+        let src = parse_reg(&ops[1], ln)?;
+        return Ok(InstrKind::St {
+            space,
+            src,
+            addr,
+            offset,
+        });
+    }
+    match mn {
+        "MOV" => {
+            want(2)?;
+            Ok(InstrKind::Mov {
+                dst: parse_reg(&ops[0], ln)?,
+                src: parse_operand(&ops[1], ln)?,
+            })
+        }
+        "S2R" => {
+            want(2)?;
+            let sreg = SReg::ALL
+                .iter()
+                .find(|s| s.mnemonic() == ops[1])
+                .copied()
+                .ok_or_else(|| err(ln, format!("unknown special register `{}`", ops[1])))?;
+            Ok(InstrKind::S2R {
+                dst: parse_reg(&ops[0], ln)?,
+                sreg,
+            })
+        }
+        "BRA" => {
+            want(1)?;
+            let t = &ops[0];
+            let target = if let Ok(n) = t.parse::<usize>() {
+                n
+            } else if let Some(labels) = labels {
+                *labels
+                    .get(t.as_str())
+                    .ok_or_else(|| err(ln, format!("undefined label `{t}`")))?
+            } else {
+                return Err(err(ln, format!("undefined label `{t}`")));
+            };
+            Ok(InstrKind::Bra { target })
+        }
+        "BAR.SYNC" | "BAR" => Ok(InstrKind::Bar),
+        "EXIT" => Ok(InstrKind::Exit),
+        "NOP" => Ok(InstrKind::Nop),
+        _ => Err(err(ln, format!("unknown mnemonic `{mn}`"))),
+    }
+}
+
+fn parse_cmp(s: &str, ln: usize) -> Result<CmpOp, ParseError> {
+    CmpOp::ALL
+        .iter()
+        .find(|c| c.mnemonic() == s)
+        .copied()
+        .ok_or_else(|| err(ln, format!("unknown comparison `{s}`")))
+}
+
+fn parse_space(s: &str, ln: usize) -> Result<Space, ParseError> {
+    match s {
+        "GLOBAL" => Ok(Space::Global),
+        "SHARED" => Ok(Space::Shared),
+        _ => Err(err(ln, format!("unknown address space `{s}`"))),
+    }
+}
+
+fn parse_reg(s: &str, ln: usize) -> Result<Reg, ParseError> {
+    if s == "RZ" {
+        return Ok(Reg::RZ);
+    }
+    s.strip_prefix('R')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 255)
+        .map(Reg::new)
+        .ok_or_else(|| err(ln, format!("expected register, got `{s}`")))
+}
+
+fn parse_pred(s: &str, ln: usize) -> Result<Pred, ParseError> {
+    if s == "PT" {
+        return Ok(Pred::PT);
+    }
+    s.strip_prefix('P')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n <= 6)
+        .map(Pred::new)
+        .ok_or_else(|| err(ln, format!("expected predicate, got `{s}`")))
+}
+
+fn parse_operand(s: &str, ln: usize) -> Result<Operand, ParseError> {
+    if s.starts_with('R') {
+        return parse_reg(s, ln).map(Operand::Reg);
+    }
+    parse_imm(s)
+        .map(Operand::Imm)
+        .ok_or_else(|| err(ln, format!("expected operand, got `{s}`")))
+}
+
+fn parse_imm(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = s.strip_prefix('-') {
+        if let Some(hex) = neg.strip_prefix("0x") {
+            return i64::from_str_radix(hex, 16)
+                .ok()
+                .map(|v| (-v) as i32 as u32);
+        }
+        return neg.parse::<i64>().ok().map(|v| (-v) as i32 as u32);
+    }
+    s.parse::<u32>().ok()
+}
+
+/// Parses `[Rn]`, `[Rn+off]`, `[Rn-off]` memory operands.
+fn parse_mem(s: &str, ln: usize) -> Result<(Reg, i32), ParseError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(ln, format!("expected [addr], got `{s}`")))?;
+    let (reg_s, off) = match inner.find(['+', '-']) {
+        Some(i) => {
+            let (r, o) = inner.split_at(i);
+            let sign = if o.starts_with('-') { -1i64 } else { 1 };
+            let mag = o[1..].trim();
+            let v = if let Some(hex) = mag.strip_prefix("0x") {
+                i64::from_str_radix(hex, 16).map_err(|_| err(ln, "bad offset"))?
+            } else {
+                mag.parse::<i64>().map_err(|_| err(ln, "bad offset"))?
+            };
+            (r.trim(), (sign * v) as i32)
+        }
+        None => (inner.trim(), 0),
+    };
+    Ok((parse_reg(reg_s, ln)?, off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::op::SReg;
+
+    #[test]
+    fn parse_simple_alu() {
+        let i = parse_instr("IADD R1, R2, 0x10").unwrap();
+        assert_eq!(i.to_string(), "IADD R1, R2, 0x10");
+    }
+
+    #[test]
+    fn parse_guarded() {
+        let i = parse_instr("@!P2 FMUL R3, R4, R5").unwrap();
+        assert!(i.guard.negate);
+        assert_eq!(i.guard.pred, Pred::new(2));
+    }
+
+    #[test]
+    fn parse_memory_forms() {
+        assert_eq!(
+            parse_instr("LD.GLOBAL R2, [R4]").unwrap().to_string(),
+            "LD.GLOBAL R2, [R4]"
+        );
+        assert_eq!(
+            parse_instr("LD.GLOBAL R2, [R4+16]").unwrap().to_string(),
+            "LD.GLOBAL R2, [R4+16]"
+        );
+        assert_eq!(
+            parse_instr("ST.SHARED [R4-4], R2").unwrap().to_string(),
+            "ST.SHARED [R4-4], R2"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(parse_instr("FROB R1, R2").is_err());
+        assert!(parse_instr("IADD R1").is_err());
+        assert!(parse_instr("LD.GLOBAL R2, R4").is_err());
+        assert!(parse_instr("MOV R256, 0").is_err());
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let text = "
+            .kernel jumpy regs=4
+            MOV R0, 0
+            @P0 BRA done
+            IADD R0, R0, 1
+            done: EXIT
+        ";
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.name(), "jumpy");
+        assert_eq!(
+            k.instr(1).kind,
+            InstrKind::Bra { target: 3 },
+        );
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = parse_kernel(".kernel k regs=2\nBRA nowhere\nEXIT").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = parse_kernel(".kernel k regs=2\na: NOP\na: EXIT").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let k = parse_kernel(
+            "// header comment\n.kernel k regs=2\nMOV R0, 1 // set\n# full line\nEXIT",
+        )
+        .unwrap();
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn regs_inferred_when_missing() {
+        let k = parse_kernel("MOV R5, 1\nEXIT").unwrap();
+        assert_eq!(k.num_regs(), 6);
+    }
+
+    #[test]
+    fn roundtrip_builder_kernel() {
+        let mut b = KernelBuilder::new("rt");
+        let tid = b.s2r(SReg::TidX);
+        let p = b.isetp(CmpOp::Lt, tid.into(), Operand::Imm(16));
+        b.if_else(
+            p.into(),
+            |b| {
+                let x = b.sin(tid.into());
+                b.fadd(x.into(), Operand::imm_f32(1.0));
+            },
+            |b| {
+                b.iadd(tid.into(), Operand::Imm(2));
+            },
+        );
+        let addr = b.mov(Operand::Imm(256));
+        let v = b.ld_global(addr, 8);
+        b.st_global(addr, v, -4);
+        b.bar();
+        b.exit();
+        let k = b.build().unwrap();
+        let text = print_kernel(&k);
+        let k2 = parse_kernel(&text).unwrap();
+        assert_eq!(k.instrs(), k2.instrs());
+        assert_eq!(k.name(), k2.name());
+        assert_eq!(k.num_regs(), k2.num_regs());
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let i = parse_instr("MOV R0, -5").unwrap();
+        match i.kind {
+            InstrKind::Mov { src, .. } => assert_eq!(src, Operand::Imm((-5i32) as u32)),
+            _ => panic!("not a mov"),
+        }
+    }
+}

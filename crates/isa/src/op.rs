@@ -1,0 +1,438 @@
+//! Opcode enumerations and functional-unit classification.
+
+use std::fmt;
+
+/// The execution pipeline an instruction dispatches to.
+///
+/// Each SM in the modeled GPU (NVIDIA GTX 480-like, see the paper's
+/// Table 1) has two 16-lane arithmetic/logic pipelines, one 16-lane
+/// memory pipeline and one 4-lane special-function pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncUnit {
+    /// Integer/floating-point arithmetic and logic (16-lane, ×2 per SM).
+    Alu,
+    /// Special-function unit: `sin`, `cos`, `ex2`, … (4-lane, ×1 per SM).
+    Sfu,
+    /// Load/store pipeline (16-lane, ×1 per SM).
+    Mem,
+    /// Branch/control handled at issue (executes on the ALU pipe).
+    Control,
+}
+
+impl fmt::Display for FuncUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuncUnit::Alu => "ALU",
+            FuncUnit::Sfu => "SFU",
+            FuncUnit::Mem => "MEM",
+            FuncUnit::Control => "CTRL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic/logic opcodes executed on the ALU pipelines.
+///
+/// Integer operations treat the 32-bit lane value as `u32`/`i32`;
+/// floating-point operations reinterpret it as `f32` (IEEE-754 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `d = a + b` (wrapping).
+    IAdd,
+    /// `d = a - b` (wrapping).
+    ISub,
+    /// `d = a * b` (wrapping, low 32 bits).
+    IMul,
+    /// `d = a * b + c` (wrapping multiply-add).
+    IMad,
+    /// `d = min(a, b)` as signed integers.
+    IMin,
+    /// `d = max(a, b)` as signed integers.
+    IMax,
+    /// `d = a / b` as signed integers (`0` when `b == 0`). Long-latency.
+    IDiv,
+    /// `d = |a|` as a signed integer.
+    IAbs,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT of `a`.
+    Not,
+    /// Logical shift left by `b & 31`.
+    Shl,
+    /// Logical shift right by `b & 31`.
+    Shr,
+    /// Arithmetic shift right by `b & 31`.
+    Sra,
+    /// `d = a + b` in `f32`.
+    FAdd,
+    /// `d = a - b` in `f32`.
+    FSub,
+    /// `d = a * b` in `f32`.
+    FMul,
+    /// `d = a * b + c` fused multiply-add in `f32`.
+    FFma,
+    /// `d = min(a, b)` in `f32`.
+    FMin,
+    /// `d = max(a, b)` in `f32`.
+    FMax,
+    /// `d = |a|` in `f32`.
+    FAbs,
+    /// `d = -a` in `f32`.
+    FNeg,
+    /// Convert signed integer to `f32`.
+    I2F,
+    /// Convert `f32` to signed integer (truncating; saturates on overflow).
+    F2I,
+}
+
+impl AluOp {
+    /// Number of source operands the opcode consumes (1, 2 or 3).
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            AluOp::IMad | AluOp::FFma => 3,
+            AluOp::IAbs | AluOp::Not | AluOp::FAbs | AluOp::FNeg | AluOp::I2F | AluOp::F2I => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the opcode operates on `f32` lane values.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            AluOp::FAdd
+                | AluOp::FSub
+                | AluOp::FMul
+                | AluOp::FFma
+                | AluOp::FMin
+                | AluOp::FMax
+                | AluOp::FAbs
+                | AluOp::FNeg
+                | AluOp::F2I
+        )
+    }
+
+    /// The assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::IAdd => "IADD",
+            AluOp::ISub => "ISUB",
+            AluOp::IMul => "IMUL",
+            AluOp::IMad => "IMAD",
+            AluOp::IMin => "IMIN",
+            AluOp::IMax => "IMAX",
+            AluOp::IDiv => "IDIV",
+            AluOp::IAbs => "IABS",
+            AluOp::And => "AND",
+            AluOp::Or => "OR",
+            AluOp::Xor => "XOR",
+            AluOp::Not => "NOT",
+            AluOp::Shl => "SHL",
+            AluOp::Shr => "SHR",
+            AluOp::Sra => "SRA",
+            AluOp::FAdd => "FADD",
+            AluOp::FSub => "FSUB",
+            AluOp::FMul => "FMUL",
+            AluOp::FFma => "FFMA",
+            AluOp::FMin => "FMIN",
+            AluOp::FMax => "FMAX",
+            AluOp::FAbs => "FABS",
+            AluOp::FNeg => "FNEG",
+            AluOp::I2F => "I2F",
+            AluOp::F2I => "F2I",
+        }
+    }
+
+    /// All ALU opcodes, in mnemonic-table order (used by the assembler).
+    pub const ALL: [AluOp; 25] = [
+        AluOp::IAdd,
+        AluOp::ISub,
+        AluOp::IMul,
+        AluOp::IMad,
+        AluOp::IMin,
+        AluOp::IMax,
+        AluOp::IDiv,
+        AluOp::IAbs,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Not,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sra,
+        AluOp::FAdd,
+        AluOp::FSub,
+        AluOp::FMul,
+        AluOp::FFma,
+        AluOp::FMin,
+        AluOp::FMax,
+        AluOp::FAbs,
+        AluOp::FNeg,
+        AluOp::I2F,
+        AluOp::F2I,
+    ];
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Special-function opcodes executed on the SFU pipeline.
+///
+/// The paper notes these consume 3–24× the energy of ordinary
+/// floating-point instructions (Section 1), which is why scalar
+/// execution of SFU instructions matters so much for G-Scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfuOp {
+    /// `sin(a)` in `f32`.
+    Sin,
+    /// `cos(a)` in `f32`.
+    Cos,
+    /// `2^a` in `f32`.
+    Ex2,
+    /// `log2(a)` in `f32`.
+    Lg2,
+    /// `1/a` in `f32`.
+    Rcp,
+    /// `1/sqrt(a)` in `f32`.
+    Rsqrt,
+    /// `sqrt(a)` in `f32`.
+    Sqrt,
+}
+
+impl SfuOp {
+    /// The assembly mnemonic (all SFU ops use the `MUFU.<fn>` form).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SfuOp::Sin => "MUFU.SIN",
+            SfuOp::Cos => "MUFU.COS",
+            SfuOp::Ex2 => "MUFU.EX2",
+            SfuOp::Lg2 => "MUFU.LG2",
+            SfuOp::Rcp => "MUFU.RCP",
+            SfuOp::Rsqrt => "MUFU.RSQ",
+            SfuOp::Sqrt => "MUFU.SQRT",
+        }
+    }
+
+    /// All SFU opcodes (used by the assembler).
+    pub const ALL: [SfuOp; 7] = [
+        SfuOp::Sin,
+        SfuOp::Cos,
+        SfuOp::Ex2,
+        SfuOp::Lg2,
+        SfuOp::Rcp,
+        SfuOp::Rsqrt,
+        SfuOp::Sqrt,
+    ];
+}
+
+impl fmt::Display for SfuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison kind for predicate-set instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The suffix used in assembly (`ISETP.LT`, …).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "EQ",
+            CmpOp::Ne => "NE",
+            CmpOp::Lt => "LT",
+            CmpOp::Le => "LE",
+            CmpOp::Gt => "GT",
+            CmpOp::Ge => "GE",
+        }
+    }
+
+    /// The logically negated comparison (`a < b` ⇔ `!(a >= b)`).
+    #[must_use]
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// All comparison kinds (used by the assembler).
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Memory address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Off-chip global memory, cached in L1/L2.
+    Global,
+    /// On-chip per-CTA shared memory.
+    Shared,
+}
+
+impl Space {
+    /// The assembly suffix (`LD.GLOBAL`, `ST.SHARED`, …).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Space::Global => "GLOBAL",
+            Space::Shared => "SHARED",
+        }
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Special (read-only) registers readable via `S2R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SReg {
+    /// Thread index within the CTA, x dimension.
+    TidX,
+    /// Thread index within the CTA, y dimension.
+    TidY,
+    /// CTA index within the grid, x dimension.
+    CtaIdX,
+    /// CTA index within the grid, y dimension.
+    CtaIdY,
+    /// CTA size, x dimension.
+    NTidX,
+    /// CTA size, y dimension.
+    NTidY,
+    /// Grid size in CTAs, x dimension.
+    NCtaIdX,
+    /// Lane index within the warp (0..warp_size).
+    LaneId,
+    /// Warp index within the CTA.
+    WarpId,
+}
+
+impl SReg {
+    /// The assembly name (`SR_TID.X`, …).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SReg::TidX => "SR_TID.X",
+            SReg::TidY => "SR_TID.Y",
+            SReg::CtaIdX => "SR_CTAID.X",
+            SReg::CtaIdY => "SR_CTAID.Y",
+            SReg::NTidX => "SR_NTID.X",
+            SReg::NTidY => "SR_NTID.Y",
+            SReg::NCtaIdX => "SR_NCTAID.X",
+            SReg::LaneId => "SR_LANEID",
+            SReg::WarpId => "SR_WARPID",
+        }
+    }
+
+    /// All special registers (used by the assembler).
+    pub const ALL: [SReg; 9] = [
+        SReg::TidX,
+        SReg::TidY,
+        SReg::CtaIdX,
+        SReg::CtaIdY,
+        SReg::NTidX,
+        SReg::NTidY,
+        SReg::NCtaIdX,
+        SReg::LaneId,
+        SReg::WarpId,
+    ];
+}
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_opcode_class() {
+        assert_eq!(AluOp::IMad.arity(), 3);
+        assert_eq!(AluOp::FFma.arity(), 3);
+        assert_eq!(AluOp::IAdd.arity(), 2);
+        assert_eq!(AluOp::Not.arity(), 1);
+        assert_eq!(AluOp::F2I.arity(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(AluOp::FAdd.is_float());
+        assert!(AluOp::F2I.is_float());
+        assert!(!AluOp::I2F.is_float());
+        assert!(!AluOp::IAdd.is_float());
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for c in CmpOp::ALL {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in AluOp::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+        }
+        for op in SfuOp::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn display_uses_mnemonic() {
+        assert_eq!(AluOp::IAdd.to_string(), "IADD");
+        assert_eq!(SfuOp::Rsqrt.to_string(), "MUFU.RSQ");
+        assert_eq!(Space::Global.to_string(), "GLOBAL");
+        assert_eq!(SReg::TidX.to_string(), "SR_TID.X");
+        assert_eq!(FuncUnit::Sfu.to_string(), "SFU");
+    }
+}

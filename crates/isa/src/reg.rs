@@ -1,0 +1,163 @@
+//! Register and predicate identifiers.
+
+use std::fmt;
+
+/// A 32-bit general-purpose (vector) register identifier.
+///
+/// Every thread of a warp owns a private 32-bit copy of each register, so
+/// at the microarchitecture level a `Reg` names a *vector register* of
+/// `warp_size × 4` bytes — the unit the G-Scalar compression scheme and
+/// register-file banking operate on.
+///
+/// `R255` is the hard-wired zero register [`Reg::RZ`] (reads as `0`,
+/// writes are discarded), matching NVIDIA SASS conventions.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_isa::Reg;
+/// let r = Reg::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "R3");
+/// assert!(Reg::RZ.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const RZ: Reg = Reg(255);
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is 255, which is reserved for [`Reg::RZ`]; use
+    /// the constant instead.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index != 255, "R255 is reserved for RZ; use Reg::RZ");
+        Reg(index)
+    }
+
+    /// The raw register index (255 for [`Reg::RZ`]).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 255
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "RZ")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// A 1-bit predicate register identifier.
+///
+/// Predicates guard instructions (`@P0`, `@!P1`) and receive the results
+/// of comparison instructions. `P7` is the hard-wired true predicate
+/// [`Pred::PT`].
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_isa::Pred;
+/// assert_eq!(Pred::new(0).to_string(), "P0");
+/// assert!(Pred::PT.is_true());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(u8);
+
+impl Pred {
+    /// The hard-wired always-true predicate.
+    pub const PT: Pred = Pred(7);
+
+    /// Number of addressable predicate registers, including `PT`.
+    pub const COUNT: usize = 8;
+
+    /// Creates a predicate identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 6` (P7 is reserved for [`Pred::PT`]).
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index <= 6, "P7 is reserved for PT; use Pred::PT");
+        Pred(index)
+    }
+
+    /// The raw predicate index (7 for [`Pred::PT`]).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired true predicate.
+    #[must_use]
+    pub fn is_true(self) -> bool {
+        self.0 == 7
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            write!(f, "PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg::new(0).to_string(), "R0");
+        assert_eq!(Reg::new(63).to_string(), "R63");
+        assert_eq!(Reg::RZ.to_string(), "RZ");
+        assert_eq!(Reg::RZ.index(), 255);
+        assert!(!Reg::new(7).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reg_255_reserved() {
+        let _ = Reg::new(255);
+    }
+
+    #[test]
+    fn pred_display_and_index() {
+        assert_eq!(Pred::new(0).to_string(), "P0");
+        assert_eq!(Pred::new(6).to_string(), "P6");
+        assert_eq!(Pred::PT.to_string(), "PT");
+        assert!(Pred::PT.is_true());
+        assert!(!Pred::new(3).is_true());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn pred_7_reserved() {
+        let _ = Pred::new(7);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(Reg::new(1) < Reg::new(2));
+        assert!(Reg::new(200) < Reg::RZ);
+        assert!(Pred::new(0) < Pred::PT);
+    }
+}

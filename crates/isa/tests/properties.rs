@@ -1,0 +1,183 @@
+//! Property-based tests: assembler round-trips and reconvergence
+//! analysis over randomly generated structured kernels.
+
+use gscalar_isa::{asm, AluOp, CmpOp, Guard, Instr, InstrKind, KernelBuilder, Operand, Pred, Reg, SReg, SfuOp, Space};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![4 => (0u8..32).prop_map(Reg::new), 1 => Just(Reg::RZ)]
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        any::<u32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn guard() -> impl Strategy<Value = Guard> {
+    prop_oneof![
+        3 => Just(Guard::ALWAYS),
+        1 => ((0u8..7), any::<bool>()).prop_map(|(p, n)| Guard {
+            pred: Pred::new(p),
+            negate: n
+        }),
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn instr_kind() -> impl Strategy<Value = InstrKind> {
+    prop_oneof![
+        (alu_op(), reg(), operand(), operand(), operand()).prop_map(|(op, dst, a, b, c)| {
+            // Unused trailing operands are canonically RZ (the printer
+            // omits them, so the parser reconstructs RZ).
+            let b = if op.arity() >= 2 { b } else { Operand::Reg(Reg::RZ) };
+            let c = if op.arity() >= 3 { c } else { Operand::Reg(Reg::RZ) };
+            InstrKind::Alu { op, dst, a, b, c }
+        }),
+        (proptest::sample::select(SfuOp::ALL.to_vec()), reg(), operand())
+            .prop_map(|(op, dst, a)| InstrKind::Sfu { op, dst, a }),
+        (reg(), operand()).prop_map(|(dst, src)| InstrKind::Mov { dst, src }),
+        (reg(), proptest::sample::select(SReg::ALL.to_vec()))
+            .prop_map(|(dst, sreg)| InstrKind::S2R { dst, sreg }),
+        (
+            proptest::sample::select(CmpOp::ALL.to_vec()),
+            any::<bool>(),
+            (0u8..7).prop_map(Pred::new),
+            operand(),
+            operand()
+        )
+            .prop_map(|(cmp, float, dst, a, b)| InstrKind::SetP { cmp, float, dst, a, b }),
+        (
+            prop_oneof![Just(Space::Global), Just(Space::Shared)],
+            reg(),
+            reg(),
+            -4096i32..4096
+        )
+            .prop_map(|(space, dst, addr, offset)| InstrKind::Ld { space, dst, addr, offset }),
+        (
+            prop_oneof![Just(Space::Global), Just(Space::Shared)],
+            reg(),
+            reg(),
+            -4096i32..4096
+        )
+            .prop_map(|(space, src, addr, offset)| InstrKind::St { space, src, addr, offset }),
+        Just(InstrKind::Bar),
+        Just(InstrKind::Nop),
+    ]
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    (guard(), instr_kind()).prop_map(|(guard, kind)| Instr { guard, kind })
+}
+
+proptest! {
+    #[test]
+    fn single_instruction_roundtrips(i in instr()) {
+        let text = i.to_string();
+        let parsed = asm::parse_instr(&text).expect("printer output must parse");
+        prop_assert_eq!(parsed, i, "text was: {}", text);
+    }
+
+    #[test]
+    fn kernels_roundtrip_through_asm(body in proptest::collection::vec(instr(), 1..40)) {
+        let mut instrs = body;
+        instrs.push(Instr::always(InstrKind::Exit));
+        let kernel = gscalar_isa::Kernel::new("prop", instrs, 40).expect("valid kernel");
+        let text = asm::print_kernel(&kernel);
+        let back = asm::parse_kernel(&text).expect("printed kernel must parse");
+        prop_assert_eq!(kernel.instrs(), back.instrs());
+        prop_assert_eq!(kernel.num_regs(), back.num_regs());
+    }
+}
+
+/// A random structured program: a tree of straight-line ops, ifs,
+/// if/elses, and bounded loops.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Ops(u8),
+    If(Vec<Stmt>),
+    IfElse(Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = (1u8..4).prop_map(Stmt::Ops);
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (1u8..4).prop_map(Stmt::Ops),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Stmt::If),
+            (
+                proptest::collection::vec(inner.clone(), 1..2),
+                proptest::collection::vec(inner.clone(), 1..2)
+            )
+                .prop_map(|(t, e)| Stmt::IfElse(t, e)),
+            ((1u8..4), proptest::collection::vec(inner, 1..2))
+                .prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+fn emit(b: &mut KernelBuilder, x: Reg, p: Pred, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Ops(n) => {
+                for _ in 0..*n {
+                    b.iadd_to(x, x.into(), Operand::Imm(1));
+                }
+            }
+            Stmt::If(body) => {
+                b.isetp_to(p, CmpOp::Gt, x.into(), Operand::Imm(2));
+                b.if_then(p.into(), |b| emit(b, x, p, body));
+            }
+            Stmt::IfElse(t, e) => {
+                b.isetp_to(p, CmpOp::Gt, x.into(), Operand::Imm(5));
+                b.if_else(p.into(), |b| emit(b, x, p, t), |b| emit(b, x, p, e));
+            }
+            Stmt::Loop(n, body) => {
+                let limit = *n as u32;
+                let i = b.mov(Operand::Imm(0));
+                b.while_loop(
+                    |b| b.isetp(CmpOp::Lt, i.into(), Operand::Imm(limit)).into(),
+                    |b| {
+                        emit(b, x, p, body);
+                        b.iadd_to(i, i.into(), Operand::Imm(1));
+                    },
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn structured_programs_have_reconvergent_branches(prog in proptest::collection::vec(stmt(), 1..4)) {
+        let mut b = KernelBuilder::new("structured");
+        let x = b.mov(Operand::Imm(0));
+        let p = b.pred();
+        emit(&mut b, x, p, &prog);
+        b.exit();
+        let kernel = b.build().expect("structured program builds");
+        // Every conditional branch in a structured program reconverges
+        // strictly after itself, before the end of the kernel.
+        for (pc, i) in kernel.instrs().iter().enumerate() {
+            if i.is_branch() && !i.guard.is_always() {
+                let r = kernel.reconvergence_pc(pc);
+                prop_assert!(r.is_some(), "conditional branch at {} has no reconvergence", pc);
+                let r = r.unwrap();
+                prop_assert!(r > pc || is_loop_back_context(&kernel, pc, r));
+                prop_assert!(r < kernel.len());
+            }
+        }
+    }
+}
+
+/// Loop exit branches may reconverge at a PC before the loop body ends;
+/// accept any reconvergence point that is not the branch itself.
+fn is_loop_back_context(_k: &gscalar_isa::Kernel, pc: usize, r: usize) -> bool {
+    r != pc
+}

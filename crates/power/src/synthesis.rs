@@ -1,0 +1,110 @@
+//! The paper's Table 3: compressor/decompressor synthesis results
+//! (commercial 40 nm standard-cell library, including 1024-bit pipeline
+//! registers, at 1.4 GHz) and the chip-level overhead arithmetic of
+//! Section 5.1.
+
+/// Synthesis results for one hardware block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisResult {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Critical-path delay in ns.
+    pub delay_ns: f64,
+    /// Power at 1.4 GHz in mW.
+    pub power_mw: f64,
+}
+
+/// Table 3, decompressor column.
+pub const DECOMPRESSOR: SynthesisResult = SynthesisResult {
+    area_um2: 7332.0,
+    delay_ns: 0.35,
+    power_mw: 15.86,
+};
+
+/// Table 3, compressor column (includes the Figure 7 broadcast logic).
+pub const COMPRESSOR: SynthesisResult = SynthesisResult {
+    area_um2: 11624.0,
+    delay_ns: 0.67,
+    power_mw: 16.22,
+};
+
+/// Decompressors per SM (one per operand collector).
+pub const DECOMPRESSORS_PER_SM: usize = 16;
+
+/// Compressors per SM (one per SIMT execution pipeline).
+pub const COMPRESSORS_PER_SM: usize = 4;
+
+/// Chip-level overhead of the codec blocks for one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmOverhead {
+    /// Added power in watts.
+    pub power_w: f64,
+    /// Added area in mm².
+    pub area_mm2: f64,
+}
+
+/// Computes the Section 5.1 per-SM overhead: "0.32 W (1.6%) and
+/// 0.16 mm² (0.7%)".
+#[must_use]
+pub fn sm_overhead() -> SmOverhead {
+    let power_mw = DECOMPRESSORS_PER_SM as f64 * DECOMPRESSOR.power_mw
+        + COMPRESSORS_PER_SM as f64 * COMPRESSOR.power_mw;
+    let area_um2 = DECOMPRESSORS_PER_SM as f64 * DECOMPRESSOR.area_um2
+        + COMPRESSORS_PER_SM as f64 * COMPRESSOR.area_um2;
+    SmOverhead {
+        power_w: power_mw / 1000.0,
+        area_mm2: area_um2 / 1e6,
+    }
+}
+
+/// The BVR/EBR/flag array adds ~3% to register-file area; a second set
+/// for half-register compression raises it to ~7% (Section 4.3).
+#[must_use]
+pub fn rf_area_overhead_fraction(half_registers: bool) -> f64 {
+    if half_registers {
+        0.07
+    } else {
+        0.03
+    }
+}
+
+/// Energy of one 38-bit BVR/EBR array access relative to a full
+/// 1024-bit bank access (Section 5.1).
+pub const BVR_ACCESS_ENERGY_FRACTION: f64 = 0.052;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_constants() {
+        assert_eq!(DECOMPRESSOR.area_um2, 7332.0);
+        assert_eq!(COMPRESSOR.area_um2, 11624.0);
+        assert_eq!(DECOMPRESSOR.power_mw, 15.86);
+        assert_eq!(COMPRESSOR.power_mw, 16.22);
+    }
+
+    #[test]
+    fn delays_fit_the_clock() {
+        // One 1.4 GHz cycle is ~0.714 ns; both blocks fit in a cycle
+        // (the paper's "one cycle is sufficient" claims).
+        let cycle_ns = 1.0 / 1.4;
+        assert!(DECOMPRESSOR.delay_ns < cycle_ns);
+        assert!(COMPRESSOR.delay_ns < cycle_ns);
+    }
+
+    #[test]
+    fn per_sm_overhead_matches_section_5_1() {
+        let o = sm_overhead();
+        // 16 × 15.86 mW + 4 × 16.22 mW ≈ 0.32 W
+        assert!((o.power_w - 0.318).abs() < 0.01, "power {}", o.power_w);
+        // 16 × 7332 + 4 × 11624 µm² ≈ 0.16 mm²
+        assert!((o.area_mm2 - 0.164).abs() < 0.005, "area {}", o.area_mm2);
+    }
+
+    #[test]
+    fn rf_overhead_fractions() {
+        assert_eq!(rf_area_overhead_fraction(false), 0.03);
+        assert_eq!(rf_area_overhead_fraction(true), 0.07);
+    }
+}

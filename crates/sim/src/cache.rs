@@ -1,0 +1,172 @@
+//! A generic set-associative cache tag model with LRU replacement.
+//!
+//! Only tags are modeled — data always comes from the functional
+//! [`GlobalMemory`](crate::memory::GlobalMemory) — so the cache decides
+//! *timing and energy*, not values.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; allocated if the access allocates.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    last_use: u64,
+}
+
+/// A set-associative LRU cache tag array.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_sim::cache::{Cache, CacheOutcome};
+///
+/// let mut c = Cache::new(1024, 2, 128);
+/// assert_eq!(c.access(0, 1, true), CacheOutcome::Miss);
+/// assert_eq!(c.access(0, 2, true), CacheOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    lines: Vec<Line>,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or any parameter
+    /// is zero.
+    #[must_use]
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0);
+        let lines_total = size_bytes / line_bytes;
+        assert!(
+            size_bytes.is_multiple_of(line_bytes) && lines_total >= ways && lines_total.is_multiple_of(ways),
+            "cache geometry must divide evenly"
+        );
+        let sets = lines_total / ways;
+        Cache {
+            sets,
+            ways,
+            line_bytes,
+            lines: vec![Line::default(); lines_total],
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Accesses `addr` at time `now`; allocates the line on miss when
+    /// `allocate` is true. Returns hit/miss.
+    pub fn access(&mut self, addr: u64, now: u64, allocate: bool) -> CacheOutcome {
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        let set_lines = &mut self.lines[base..base + self.ways];
+        if let Some(l) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = now;
+            return CacheOutcome::Hit;
+        }
+        if allocate {
+            let victim = set_lines
+                .iter_mut()
+                .min_by_key(|l| if l.valid { l.last_use + 1 } else { 0 })
+                .expect("ways > 0");
+            victim.valid = true;
+            victim.tag = tag;
+            victim.last_use = now;
+        }
+        CacheOutcome::Miss
+    }
+
+    /// Whether `addr`'s line is currently resident (no LRU update).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_allocate() {
+        let mut c = Cache::new(1024, 2, 128); // 4 sets
+        assert_eq!(c.access(0, 1, true), CacheOutcome::Miss);
+        assert_eq!(c.access(64, 2, true), CacheOutcome::Hit); // same line
+        assert_eq!(c.access(128, 3, true), CacheOutcome::Miss); // next set
+    }
+
+    #[test]
+    fn no_allocate_stays_cold() {
+        let mut c = Cache::new(1024, 2, 128);
+        assert_eq!(c.access(0, 1, false), CacheOutcome::Miss);
+        assert_eq!(c.access(0, 2, true), CacheOutcome::Miss);
+        assert_eq!(c.access(0, 3, true), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set, 2 ways, 128B lines = 256 bytes.
+        let mut c = Cache::new(256, 2, 128);
+        // Lines A, B fill the set; C evicts A (older).
+        let a = 0u64;
+        let b = 128;
+        let c_addr = 256;
+        c.access(a, 1, true);
+        c.access(b, 2, true);
+        c.access(c_addr, 3, true);
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+        assert!(c.probe(c_addr));
+        // Touch B, then D evicts C.
+        c.access(b, 4, true);
+        c.access(384, 5, true);
+        assert!(c.probe(b));
+        assert!(!c.probe(c_addr));
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(256, 2, 128);
+        c.access(0, 1, true);
+        assert!(c.probe(0));
+        c.flush();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn bad_geometry_rejected() {
+        let _ = Cache::new(300, 2, 128);
+    }
+}

@@ -1,0 +1,186 @@
+//! Functional (per-lane) instruction semantics.
+//!
+//! The simulator is functional-first: every instruction computes real
+//! 32-bit lane values so the compression and scalar-detection hardware
+//! models operate on genuine register contents.
+
+use gscalar_isa::{AluOp, CmpOp, SfuOp};
+
+/// Evaluates an ALU opcode on one lane. `b`/`c` are ignored by opcodes
+/// with smaller arity.
+#[must_use]
+pub fn eval_alu(op: AluOp, a: u32, b: u32, c: u32) -> u32 {
+    let fa = f32::from_bits(a);
+    let fb = f32::from_bits(b);
+    let fc = f32::from_bits(c);
+    match op {
+        AluOp::IAdd => a.wrapping_add(b),
+        AluOp::ISub => a.wrapping_sub(b),
+        AluOp::IMul => a.wrapping_mul(b),
+        AluOp::IMad => a.wrapping_mul(b).wrapping_add(c),
+        AluOp::IMin => (a as i32).min(b as i32) as u32,
+        AluOp::IMax => (a as i32).max(b as i32) as u32,
+        AluOp::IDiv => {
+            let (ia, ib) = (a as i32, b as i32);
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_div(ib) as u32
+            }
+        }
+        AluOp::IAbs => (a as i32).wrapping_abs() as u32,
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Not => !a,
+        AluOp::Shl => a << (b & 31),
+        AluOp::Shr => a >> (b & 31),
+        AluOp::Sra => ((a as i32) >> (b & 31)) as u32,
+        AluOp::FAdd => (fa + fb).to_bits(),
+        AluOp::FSub => (fa - fb).to_bits(),
+        AluOp::FMul => (fa * fb).to_bits(),
+        AluOp::FFma => fa.mul_add(fb, fc).to_bits(),
+        AluOp::FMin => fa.min(fb).to_bits(),
+        AluOp::FMax => fa.max(fb).to_bits(),
+        AluOp::FAbs => fa.abs().to_bits(),
+        AluOp::FNeg => (-fa).to_bits(),
+        AluOp::I2F => (a as i32 as f32).to_bits(),
+        AluOp::F2I => (fa as i32) as u32, // saturating in Rust semantics
+    }
+}
+
+/// Evaluates an SFU opcode on one lane.
+#[must_use]
+pub fn eval_sfu(op: SfuOp, a: u32) -> u32 {
+    let fa = f32::from_bits(a);
+    let r = match op {
+        SfuOp::Sin => fa.sin(),
+        SfuOp::Cos => fa.cos(),
+        SfuOp::Ex2 => fa.exp2(),
+        SfuOp::Lg2 => fa.log2(),
+        SfuOp::Rcp => 1.0 / fa,
+        SfuOp::Rsqrt => 1.0 / fa.sqrt(),
+        SfuOp::Sqrt => fa.sqrt(),
+    };
+    r.to_bits()
+}
+
+/// Evaluates a comparison on one lane.
+#[must_use]
+pub fn eval_cmp(cmp: CmpOp, float: bool, a: u32, b: u32) -> bool {
+    if float {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        match cmp {
+            CmpOp::Eq => fa == fb,
+            CmpOp::Ne => fa != fb,
+            CmpOp::Lt => fa < fb,
+            CmpOp::Le => fa <= fb,
+            CmpOp::Gt => fa > fb,
+            CmpOp::Ge => fa >= fb,
+        }
+    } else {
+        let (ia, ib) = (a as i32, b as i32);
+        match cmp {
+            CmpOp::Eq => ia == ib,
+            CmpOp::Ne => ia != ib,
+            CmpOp::Lt => ia < ib,
+            CmpOp::Le => ia <= ib,
+            CmpOp::Gt => ia > ib,
+            CmpOp::Ge => ia >= ib,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(eval_alu(AluOp::IAdd, 3, 4, 0), 7);
+        assert_eq!(eval_alu(AluOp::IAdd, u32::MAX, 1, 0), 0); // wraps
+        assert_eq!(eval_alu(AluOp::ISub, 3, 5, 0), (-2i32) as u32);
+        assert_eq!(eval_alu(AluOp::IMad, 3, 4, 5, ), 17);
+        assert_eq!(eval_alu(AluOp::IMin, (-2i32) as u32, 1, 0), (-2i32) as u32);
+        assert_eq!(eval_alu(AluOp::IMax, (-2i32) as u32, 1, 0), 1);
+        assert_eq!(eval_alu(AluOp::IAbs, (-9i32) as u32, 0, 0), 9);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(eval_alu(AluOp::IDiv, 10, 3, 0), 3);
+        assert_eq!(eval_alu(AluOp::IDiv, 10, 0, 0), 0);
+        assert_eq!(
+            eval_alu(AluOp::IDiv, (-10i32) as u32, 3, 0),
+            (-3i32) as u32
+        );
+        // i32::MIN / -1 must not trap.
+        assert_eq!(
+            eval_alu(AluOp::IDiv, i32::MIN as u32, (-1i32) as u32, 0),
+            i32::MIN as u32
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(eval_alu(AluOp::Shl, 1, 33, 0), 2);
+        assert_eq!(eval_alu(AluOp::Shr, 0x8000_0000, 31, 0), 1);
+        assert_eq!(
+            eval_alu(AluOp::Sra, 0x8000_0000, 31, 0),
+            0xFFFF_FFFF
+        );
+    }
+
+    #[test]
+    fn float_ops_roundtrip_bits() {
+        let a = 2.5f32.to_bits();
+        let b = 0.5f32.to_bits();
+        assert_eq!(f32::from_bits(eval_alu(AluOp::FAdd, a, b, 0)), 3.0);
+        assert_eq!(f32::from_bits(eval_alu(AluOp::FMul, a, b, 0)), 1.25);
+        let c = 1.0f32.to_bits();
+        assert_eq!(f32::from_bits(eval_alu(AluOp::FFma, a, b, c)), 2.25);
+        assert_eq!(f32::from_bits(eval_alu(AluOp::FNeg, a, 0, 0)), -2.5);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32::from_bits(eval_alu(AluOp::I2F, (-3i32) as u32, 0, 0)), -3.0);
+        assert_eq!(eval_alu(AluOp::F2I, 2.9f32.to_bits(), 0, 0), 2);
+        assert_eq!(
+            eval_alu(AluOp::F2I, (-2.9f32).to_bits(), 0, 0),
+            (-2i32) as u32
+        );
+        // Saturation instead of UB on overflow.
+        assert_eq!(
+            eval_alu(AluOp::F2I, 1e20f32.to_bits(), 0, 0),
+            i32::MAX as u32
+        );
+    }
+
+    #[test]
+    fn sfu_functions() {
+        let x = 2.0f32.to_bits();
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Ex2, x)), 4.0);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Lg2, x)), 1.0);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Rcp, x)), 0.5);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Sqrt, 4.0f32.to_bits())), 2.0);
+        assert_eq!(
+            f32::from_bits(eval_sfu(SfuOp::Rsqrt, 4.0f32.to_bits())),
+            0.5
+        );
+        let s = f32::from_bits(eval_sfu(SfuOp::Sin, 0.0f32.to_bits()));
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn comparisons_int_and_float() {
+        assert!(eval_cmp(CmpOp::Lt, false, (-1i32) as u32, 0));
+        assert!(!eval_cmp(CmpOp::Lt, true, (-1.0f32).to_bits(), f32::NAN.to_bits()));
+        assert!(eval_cmp(CmpOp::Ne, true, 1.0f32.to_bits(), 2.0f32.to_bits()));
+        assert!(eval_cmp(CmpOp::Ge, false, 5, 5));
+        // NaN compares false for everything except Ne.
+        let nan = f32::NAN.to_bits();
+        assert!(!eval_cmp(CmpOp::Eq, true, nan, nan));
+        assert!(eval_cmp(CmpOp::Ne, true, nan, nan));
+    }
+}

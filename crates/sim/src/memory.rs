@@ -1,0 +1,267 @@
+//! Functional memory: sparse paged global memory and per-CTA shared
+//! memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable global memory.
+///
+/// Pages are allocated on first touch and zero-initialized, so kernels
+/// can read unwritten memory deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_sim::memory::GlobalMemory;
+///
+/// let mut m = GlobalMemory::new();
+/// m.write_u32(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_u32(0x2000), 0); // untouched memory reads zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl GlobalMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr as usize) & (PAGE_BYTES - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let p = self.page_mut(addr);
+        p[(addr as usize) & (PAGE_BYTES - 1)] = v;
+    }
+
+    /// Reads a little-endian `u32` (byte accesses; no alignment needed).
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads an `f32` stored as IEEE-754 bits.
+    #[must_use]
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` as IEEE-754 bits.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Bulk-writes a `u32` slice starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_u32(addr + (i as u64) * 4, v);
+        }
+    }
+
+    /// Bulk-writes an `f32` slice starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f32(addr + (i as u64) * 4, v);
+        }
+    }
+
+    /// Bulk-reads `n` `u32`s starting at `addr`.
+    #[must_use]
+    pub fn read_u32_slice(&self, addr: u64, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + (i as u64) * 4)).collect()
+    }
+
+    /// Number of resident (touched) pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The lowest address where `self` and `other` differ, or `None`
+    /// when all bytes match (untouched pages compare as zero).
+    #[must_use]
+    pub fn first_difference(&self, other: &GlobalMemory) -> Option<u64> {
+        let mut pages: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        const ZERO: [u8; PAGE_BYTES] = [0u8; PAGE_BYTES];
+        for p in pages {
+            let a = self.pages.get(&p).map_or(&ZERO, |b| &**b);
+            let b = other.pages.get(&p).map_or(&ZERO, |b| &**b);
+            if a != b {
+                let off = a.iter().zip(b.iter()).position(|(x, y)| x != y).expect("pages differ");
+                return Some((p << PAGE_SHIFT) + off as u64);
+            }
+        }
+        None
+    }
+
+    /// Whether two memories hold identical contents.
+    #[must_use]
+    pub fn content_eq(&self, other: &GlobalMemory) -> bool {
+        self.first_difference(other).is_none()
+    }
+}
+
+/// Per-CTA shared memory (word-addressed scratchpad).
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    bytes: Vec<u8>,
+}
+
+impl SharedMemory {
+    /// Creates a zeroed scratchpad of `size` bytes.
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        SharedMemory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Reads a `u32`; out-of-range addresses read zero (hardware would
+    /// raise a fault, but workloads in this suite never do this — the
+    /// lenient behavior keeps partial warps simple).
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        if a + 4 > self.bytes.len() {
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ])
+    }
+
+    /// Writes a `u32`; out-of-range writes are dropped.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let a = addr as usize;
+        if a + 4 > self.bytes.len() {
+            return;
+        }
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the scratchpad has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = GlobalMemory::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMemory::new();
+        m.write_u32(100, 0x0102_0304);
+        assert_eq!(m.read_u32(100), 0x0102_0304);
+        assert_eq!(m.read_u8(100), 0x04); // little endian
+        assert_eq!(m.read_u8(103), 0x01);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = GlobalMemory::new();
+        let addr = (PAGE_BYTES as u64) - 2;
+        m.write_u32(addr, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(addr), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn float_helpers() {
+        let mut m = GlobalMemory::new();
+        m.write_f32(0x40, 3.5);
+        assert_eq!(m.read_f32(0x40), 3.5);
+        m.write_f32_slice(0x100, &[1.0, 2.0]);
+        assert_eq!(m.read_f32(0x104), 2.0);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = GlobalMemory::new();
+        m.write_u32_slice(0x200, &[1, 2, 3]);
+        assert_eq!(m.read_u32_slice(0x200, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn content_comparison() {
+        let mut a = GlobalMemory::new();
+        let mut b = GlobalMemory::new();
+        assert!(a.content_eq(&b));
+        a.write_u32(0x100, 5);
+        assert_eq!(a.first_difference(&b), Some(0x100));
+        b.write_u32(0x100, 5);
+        assert!(a.content_eq(&b));
+        // A touched-but-zero page equals an untouched one.
+        a.write_u32(0x5000, 0);
+        assert!(a.content_eq(&b));
+        b.write_u32(0x5002, 9);
+        assert_eq!(a.first_difference(&b), Some(0x5002));
+    }
+
+    #[test]
+    fn shared_memory_bounds() {
+        let mut s = SharedMemory::new(16);
+        s.write_u32(0, 7);
+        s.write_u32(12, 9);
+        assert_eq!(s.read_u32(0), 7);
+        assert_eq!(s.read_u32(12), 9);
+        // Out of range: dropped / zero.
+        s.write_u32(14, 1);
+        assert_eq!(s.read_u32(14), 0);
+        assert_eq!(s.len(), 16);
+    }
+}

@@ -1,0 +1,315 @@
+//! A per-thread reference interpreter.
+//!
+//! Executes a kernel one thread at a time with no SIMT machinery at all
+//! — no warps, no reconvergence stack, no pipelines. Because the
+//! cycle-level simulator must produce exactly the same architectural
+//! results (memory contents) as sequential per-thread execution, this
+//! interpreter is the oracle for differential testing.
+//!
+//! CTA barriers are honored by phase execution: every thread of a CTA
+//! runs until its next barrier (or exit), then all advance together.
+
+use gscalar_isa::{Dim3, Instr, InstrKind, Kernel, LaunchConfig, Operand, Pred, Reg, SReg, Space};
+
+use crate::exec;
+use crate::memory::{GlobalMemory, SharedMemory};
+
+/// Why a thread stopped running in [`run_thread_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    Barrier,
+    Exit,
+}
+
+struct Thread {
+    pc: usize,
+    regs: Vec<u32>,
+    preds: [bool; Pred::COUNT],
+    done: bool,
+    tid: u32,
+    cta: Dim3,
+}
+
+impl Thread {
+    fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    fn operand(&self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn pred(&self, p: Pred) -> bool {
+        if p.is_true() {
+            true
+        } else {
+            self.preds[p.index() as usize]
+        }
+    }
+
+    fn guard_passes(&self, i: &Instr) -> bool {
+        let v = self.pred(i.guard.pred);
+        if i.guard.negate {
+            !v
+        } else {
+            v
+        }
+    }
+
+    fn sreg(&self, s: SReg, launch: &LaunchConfig) -> u32 {
+        let bx = launch.block.x;
+        match s {
+            SReg::TidX => self.tid % bx,
+            SReg::TidY => (self.tid / bx) % launch.block.y,
+            SReg::CtaIdX => self.cta.x,
+            SReg::CtaIdY => self.cta.y,
+            SReg::NTidX => bx,
+            SReg::NTidY => launch.block.y,
+            SReg::NCtaIdX => launch.grid.x,
+            SReg::LaneId => self.tid % 32,
+            SReg::WarpId => self.tid / 32,
+        }
+    }
+}
+
+/// Runs `kernel` over `launch` sequentially and applies all stores to
+/// `gmem`. Returns the number of thread-level instructions executed.
+///
+/// # Panics
+///
+/// Panics if a thread executes more than 10 million instructions (a
+/// runaway-kernel guard for tests).
+pub fn run_reference(kernel: &Kernel, launch: LaunchConfig, gmem: &mut GlobalMemory) -> u64 {
+    let mut executed = 0u64;
+    let threads_per_cta = launch.threads_per_cta();
+    for cta_linear in 0..launch.grid.count() {
+        let cta = linear_cta(cta_linear, launch.grid);
+        let mut shared = SharedMemory::new(kernel.shared_mem_bytes());
+        let mut threads: Vec<Thread> = (0..threads_per_cta)
+            .map(|tid| Thread {
+                pc: 0,
+                regs: vec![0; kernel.num_regs().max(1) as usize],
+                preds: [false; Pred::COUNT],
+                done: false,
+                tid,
+                cta,
+            })
+            .collect();
+        // Phase execution between barriers.
+        loop {
+            let mut any_live = false;
+            for t in &mut threads {
+                if t.done {
+                    continue;
+                }
+                any_live = true;
+                let stop = run_thread_until(t, kernel, &launch, gmem, &mut shared, &mut executed);
+                if stop == Stop::Exit {
+                    t.done = true;
+                }
+            }
+            if !any_live {
+                break;
+            }
+        }
+    }
+    executed
+}
+
+fn linear_cta(linear: u64, grid: Dim3) -> Dim3 {
+    let x = (linear % u64::from(grid.x)) as u32;
+    let rest = linear / u64::from(grid.x);
+    Dim3 {
+        x,
+        y: (rest % u64::from(grid.y)) as u32,
+        z: (rest / u64::from(grid.y)) as u32,
+    }
+}
+
+fn run_thread_until(
+    t: &mut Thread,
+    kernel: &Kernel,
+    launch: &LaunchConfig,
+    gmem: &mut GlobalMemory,
+    shared: &mut SharedMemory,
+    executed: &mut u64,
+) -> Stop {
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        assert!(steps < 10_000_000, "reference thread ran away");
+        let i = kernel.instr(t.pc);
+        *executed += 1;
+        if !t.guard_passes(i) {
+            // Guarded off: branches fall through, others are no-ops.
+            t.pc += 1;
+            continue;
+        }
+        match i.kind {
+            InstrKind::Alu { op, dst, a, b, c } => {
+                let v = exec::eval_alu(op, t.operand(a), t.operand(b), t.operand(c));
+                t.set_reg(dst, v);
+            }
+            InstrKind::Sfu { op, dst, a } => {
+                let v = exec::eval_sfu(op, t.operand(a));
+                t.set_reg(dst, v);
+            }
+            InstrKind::Mov { dst, src } => {
+                let v = t.operand(src);
+                t.set_reg(dst, v);
+            }
+            InstrKind::S2R { dst, sreg } => {
+                let v = t.sreg(sreg, launch);
+                t.set_reg(dst, v);
+            }
+            InstrKind::SetP {
+                cmp,
+                float,
+                dst,
+                a,
+                b,
+            } => {
+                let v = exec::eval_cmp(cmp, float, t.operand(a), t.operand(b));
+                if !dst.is_true() {
+                    t.preds[dst.index() as usize] = v;
+                }
+            }
+            InstrKind::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
+                let a = (u64::from(t.reg(addr))).wrapping_add(offset as i64 as u64);
+                let v = match space {
+                    Space::Global => gmem.read_u32(a),
+                    Space::Shared => shared.read_u32(a as u32),
+                };
+                t.set_reg(dst, v);
+            }
+            InstrKind::St {
+                space,
+                src,
+                addr,
+                offset,
+            } => {
+                let a = (u64::from(t.reg(addr))).wrapping_add(offset as i64 as u64);
+                match space {
+                    Space::Global => gmem.write_u32(a, t.reg(src)),
+                    Space::Shared => shared.write_u32(a as u32, t.reg(src)),
+                }
+            }
+            InstrKind::Bra { target } => {
+                t.pc = target;
+                continue;
+            }
+            InstrKind::Bar => {
+                t.pc += 1;
+                return Stop::Barrier;
+            }
+            InstrKind::Exit => return Stop::Exit,
+            InstrKind::Nop => {}
+        }
+        t.pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchConfig, GpuConfig};
+    use crate::gpu::Gpu;
+    use gscalar_isa::{CmpOp, KernelBuilder};
+
+    /// Differential check: the SIMT simulator and the per-thread
+    /// reference must leave identical memory.
+    fn assert_matches(kernel: &Kernel, launch: LaunchConfig, init: &GlobalMemory, region: (u64, usize)) {
+        let mut ref_mem = init.clone();
+        run_reference(kernel, launch, &mut ref_mem);
+        let mut sim_mem = init.clone();
+        let mut gpu = Gpu::new(GpuConfig::test_small(), ArchConfig::baseline());
+        gpu.run(kernel, launch, &mut sim_mem);
+        let (base, words) = region;
+        for i in 0..words {
+            let a = base + (i as u64) * 4;
+            assert_eq!(
+                sim_mem.read_u32(a),
+                ref_mem.read_u32(a),
+                "mismatch at word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn divergent_loop_matches_simt_execution() {
+        let out = 0x9_0000u32;
+        let mut b = KernelBuilder::new("diff");
+        let tid = b.s2r(SReg::TidX);
+        let n = b.and(tid.into(), Operand::Imm(7));
+        let acc = b.mov(Operand::Imm(1));
+        let i = b.mov(Operand::Imm(0));
+        b.while_loop(
+            |b| b.isetp(CmpOp::Lt, i.into(), n.into()).into(),
+            |b| {
+                b.alu_to(
+                    gscalar_isa::AluOp::IMul,
+                    acc,
+                    acc.into(),
+                    Operand::Imm(3),
+                    Reg::RZ.into(),
+                );
+                b.iadd_to(i, i.into(), Operand::Imm(1));
+            },
+        );
+        let off = b.shl(tid.into(), Operand::Imm(2));
+        let addr = b.iadd(off.into(), Operand::Imm(out));
+        b.st_global(addr, acc, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_matches(&k, LaunchConfig::linear(2, 64), &GlobalMemory::new(), (out as u64, 128));
+    }
+
+    #[test]
+    fn barrier_phases_match() {
+        let out = 0xA_0000u32;
+        let mut b = KernelBuilder::new("barrier_diff");
+        b.shared_mem(512);
+        let tid = b.s2r(SReg::TidX);
+        let soff = b.shl(tid.into(), Operand::Imm(2));
+        let v = b.imul(tid.into(), Operand::Imm(5));
+        b.st_shared(soff, v, 0);
+        b.bar();
+        let other = b.xor(tid.into(), Operand::Imm(1));
+        let ooff = b.shl(other.into(), Operand::Imm(2));
+        let got = b.ld_shared(ooff, 0);
+        let addr = b.iadd(soff.into(), Operand::Imm(out));
+        b.st_global(addr, got, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_matches(&k, LaunchConfig::linear(1, 128), &GlobalMemory::new(), (out as u64, 128));
+    }
+
+    #[test]
+    fn reference_counts_thread_instructions() {
+        let mut b = KernelBuilder::new("count");
+        b.mov(Operand::Imm(1));
+        b.exit();
+        let k = b.build().unwrap();
+        let mut mem = GlobalMemory::new();
+        let n = run_reference(&k, LaunchConfig::linear(2, 32), &mut mem);
+        assert_eq!(n, 2 * 32 * 2); // mov + exit per thread
+    }
+}

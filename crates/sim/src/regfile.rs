@@ -1,0 +1,398 @@
+//! Operand collectors and register-file bank arbitration.
+//!
+//! The baseline register file (Section 2.1) has 16 single-ported banks
+//! feeding 16 operand collectors through a crossbar. Each cycle a bank
+//! can serve one access; collectors gather their operands over possibly
+//! several cycles and release the instruction once complete.
+//!
+//! Three port classes are modeled, which is where the architectures
+//! differ (Section 4.1):
+//!
+//! * **data ports** — one per bank, serving vector reads (and reserved
+//!   by writebacks);
+//! * **BVR ports** — one per bank, serving scalar operands in the
+//!   compression-based G-Scalar design (so scalars effectively see 16
+//!   banks);
+//! * **the scalar-RF port** — a single port shared by *all* scalar
+//!   operands in the prior-work dedicated-scalar-register-file design,
+//!   the serialization bottleneck the paper calls out.
+
+/// Which physical port a pending operand read needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// A vector-register data read from a bank's SRAM arrays.
+    Data,
+    /// A scalar read served by the per-bank BVR/EBR array.
+    Bvr,
+    /// A scalar read served by the single dedicated scalar RF.
+    ScalarRf,
+}
+
+/// One pending operand read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadReq {
+    /// Home bank of the register.
+    pub bank: usize,
+    /// Port class this read consumes.
+    pub port: PortKind,
+    /// Completed.
+    pub done: bool,
+}
+
+impl ReadReq {
+    /// A data-port read from `bank`.
+    #[must_use]
+    pub fn data(bank: usize) -> Self {
+        ReadReq {
+            bank,
+            port: PortKind::Data,
+            done: false,
+        }
+    }
+
+    /// A BVR read from `bank`.
+    #[must_use]
+    pub fn bvr(bank: usize) -> Self {
+        ReadReq {
+            bank,
+            port: PortKind::Bvr,
+            done: false,
+        }
+    }
+
+    /// A dedicated-scalar-RF read.
+    #[must_use]
+    pub fn scalar_rf() -> Self {
+        ReadReq {
+            bank: 0,
+            port: PortKind::ScalarRf,
+            done: false,
+        }
+    }
+}
+
+/// An operand-collector entry: the payload plus its outstanding reads.
+#[derive(Debug, Clone)]
+pub struct OcEntry<T> {
+    /// Caller context (the in-flight instruction).
+    pub payload: T,
+    /// Outstanding and completed operand reads.
+    pub reads: Vec<ReadReq>,
+}
+
+/// Per-cycle arbitration results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbResult {
+    /// Reads granted this cycle.
+    pub grants: u64,
+    /// Reads that wanted a busy bank data port.
+    pub data_conflicts: u64,
+    /// Scalar-RF reads deferred because the single port was taken.
+    pub scalar_serializations: u64,
+}
+
+/// The operand-collector array with bank arbitration.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_sim::regfile::{OperandCollectors, OcEntry, ReadReq};
+///
+/// let mut oc: OperandCollectors<&str> = OperandCollectors::new(4, 16);
+/// oc.insert(OcEntry { payload: "i0", reads: vec![ReadReq::data(0), ReadReq::data(0)] });
+/// // Two reads of bank 0 need two cycles.
+/// oc.arbitrate(&[]);
+/// assert!(oc.take_ready().is_empty());
+/// oc.arbitrate(&[]);
+/// assert_eq!(oc.take_ready().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OperandCollectors<T> {
+    slots: Vec<Option<OcEntry<T>>>,
+    banks: usize,
+    rr: usize,
+}
+
+impl<T> OperandCollectors<T> {
+    /// Creates `slots` collectors over `banks` register banks.
+    #[must_use]
+    pub fn new(slots: usize, banks: usize) -> Self {
+        OperandCollectors {
+            slots: (0..slots).map(|_| None).collect(),
+            banks,
+            rr: 0,
+        }
+    }
+
+    /// Number of free collector slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Number of occupied collector slots.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.len() - self.free_slots()
+    }
+
+    /// Inserts an entry into a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free — callers must check
+    /// [`OperandCollectors::free_slots`] first.
+    pub fn insert(&mut self, entry: OcEntry<T>) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("no free operand collector");
+        *slot = Some(entry);
+    }
+
+    /// Runs one cycle of bank arbitration. `write_banks` lists banks
+    /// whose data port is consumed by a writeback this cycle (writes
+    /// have priority on the single-ported SRAMs).
+    pub fn arbitrate(&mut self, write_banks: &[usize]) -> ArbResult {
+        let mut res = ArbResult::default();
+        let mut data_busy = vec![false; self.banks];
+        for &b in write_banks {
+            if b < self.banks {
+                data_busy[b] = true;
+            }
+        }
+        let mut bvr_busy = vec![false; self.banks];
+        let mut scalar_rf_busy = false;
+        let n = self.slots.len();
+        // Round-robin over collectors for fairness.
+        for i in 0..n {
+            let idx = (self.rr + i) % n;
+            let Some(entry) = self.slots[idx].as_mut() else {
+                continue;
+            };
+            for r in entry.reads.iter_mut().filter(|r| !r.done) {
+                match r.port {
+                    PortKind::Data => {
+                        if data_busy[r.bank] {
+                            res.data_conflicts += 1;
+                        } else {
+                            data_busy[r.bank] = true;
+                            r.done = true;
+                            res.grants += 1;
+                        }
+                    }
+                    PortKind::Bvr => {
+                        if !bvr_busy[r.bank] {
+                            bvr_busy[r.bank] = true;
+                            r.done = true;
+                            res.grants += 1;
+                        }
+                    }
+                    PortKind::ScalarRf => {
+                        if scalar_rf_busy {
+                            res.scalar_serializations += 1;
+                        } else {
+                            scalar_rf_busy = true;
+                            r.done = true;
+                            res.grants += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.rr = (self.rr + 1) % n.max(1);
+        res
+    }
+
+    /// Removes and returns entries whose reads are all complete.
+    pub fn take_ready(&mut self) -> Vec<T> {
+        self.take_ready_when(|_| true)
+    }
+
+    /// Removes and returns complete entries accepted by `accept`;
+    /// rejected entries stay in their collector (structural
+    /// backpressure toward the schedulers).
+    pub fn take_ready_when(&mut self, mut accept: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut out = Vec::new();
+        for slot in &mut self.slots {
+            let complete = slot
+                .as_ref()
+                .is_some_and(|e| e.reads.iter().all(|r| r.done));
+            if complete && accept(&slot.as_ref().expect("checked above").payload) {
+                out.push(slot.take().expect("checked above").payload);
+            }
+        }
+        out
+    }
+
+    /// Whether any entry is still collecting.
+    #[must_use]
+    pub fn any_pending(&self) -> bool {
+        self.slots.iter().any(|s| s.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_banks_collect_in_one_cycle() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![ReadReq::data(0), ReadReq::data(1), ReadReq::data(2)],
+        });
+        let r = oc.arbitrate(&[]);
+        assert_eq!(r.grants, 3);
+        assert_eq!(oc.take_ready(), vec![1]);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![ReadReq::data(3), ReadReq::data(3)],
+        });
+        let r1 = oc.arbitrate(&[]);
+        assert_eq!(r1.grants, 1);
+        assert_eq!(r1.data_conflicts, 1);
+        assert!(oc.take_ready().is_empty());
+        oc.arbitrate(&[]);
+        assert_eq!(oc.take_ready(), vec![1]);
+    }
+
+    #[test]
+    fn cross_entry_bank_conflict() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![ReadReq::data(5)],
+        });
+        oc.insert(OcEntry {
+            payload: 2,
+            reads: vec![ReadReq::data(5)],
+        });
+        oc.arbitrate(&[]);
+        let ready = oc.take_ready();
+        assert_eq!(ready.len(), 1);
+        oc.arbitrate(&[]);
+        assert_eq!(oc.take_ready().len(), 1);
+    }
+
+    #[test]
+    fn writes_have_priority() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![ReadReq::data(7)],
+        });
+        let r = oc.arbitrate(&[7]);
+        assert_eq!(r.grants, 0);
+        assert_eq!(r.data_conflicts, 1);
+        oc.arbitrate(&[]);
+        assert_eq!(oc.take_ready(), vec![1]);
+    }
+
+    #[test]
+    fn bvr_ports_do_not_conflict_with_data() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![ReadReq::data(0), ReadReq::bvr(0)],
+        });
+        let r = oc.arbitrate(&[]);
+        assert_eq!(r.grants, 2);
+        assert_eq!(oc.take_ready(), vec![1]);
+    }
+
+    #[test]
+    fn bvr_ports_are_per_bank() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![ReadReq::bvr(0), ReadReq::bvr(1)],
+        });
+        oc.insert(OcEntry {
+            payload: 2,
+            reads: vec![ReadReq::bvr(0)],
+        });
+        oc.arbitrate(&[]);
+        // Entry 1 completes (banks 0 and 1); entry 2's bank-0 BVR read
+        // lost arbitration this cycle.
+        assert_eq!(oc.take_ready(), vec![1]);
+        oc.arbitrate(&[]);
+        assert_eq!(oc.take_ready(), vec![2]);
+    }
+
+    #[test]
+    fn scalar_rf_is_a_single_port() {
+        // Section 4.1: a burst of scalar instructions serializes on the
+        // one scalar bank in the prior-work design.
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(8, 16);
+        for p in 0..4 {
+            oc.insert(OcEntry {
+                payload: p,
+                reads: vec![ReadReq::scalar_rf(), ReadReq::scalar_rf()],
+            });
+        }
+        let r = oc.arbitrate(&[]);
+        assert_eq!(r.grants, 1);
+        assert!(r.scalar_serializations >= 3);
+        // It takes 8 cycles to drain all four two-operand entries.
+        let mut done = 0;
+        for _ in 0..7 {
+            oc.arbitrate(&[]);
+            done += oc.take_ready().len();
+        }
+        assert_eq!(done, 4);
+    }
+
+    #[test]
+    fn take_ready_when_applies_backpressure() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
+        oc.insert(OcEntry { payload: 1, reads: vec![] });
+        oc.insert(OcEntry { payload: 2, reads: vec![] });
+        oc.insert(OcEntry { payload: 3, reads: vec![] });
+        // Accept at most two.
+        let mut budget = 2;
+        let taken = oc.take_ready_when(|_| {
+            if budget > 0 {
+                budget -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(taken.len(), 2);
+        assert_eq!(oc.occupancy(), 1);
+        assert_eq!(oc.take_ready().len(), 1);
+    }
+
+    #[test]
+    fn no_reads_is_immediately_ready() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(2, 16);
+        oc.insert(OcEntry {
+            payload: 9,
+            reads: vec![],
+        });
+        assert_eq!(oc.take_ready(), vec![9]);
+        assert!(!oc.any_pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "no free operand collector")]
+    fn insert_into_full_panics() {
+        let mut oc: OperandCollectors<u32> = OperandCollectors::new(1, 16);
+        oc.insert(OcEntry {
+            payload: 0,
+            reads: vec![],
+        });
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![],
+        });
+    }
+}

@@ -1,0 +1,135 @@
+//! Warp schedulers: greedy-then-oldest (GTO) and loose round-robin.
+
+/// Warp scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Greedy-then-oldest: keep issuing from the last warp until it
+    /// stalls, then fall back to the oldest ready warp (GPGPU-Sim's
+    /// default, assumed by the paper's burst-of-scalar-instructions
+    /// observation in Section 4.1).
+    Gto,
+    /// Loose round-robin.
+    Lrr,
+}
+
+/// A warp scheduler owning a subset of an SM's warps.
+///
+/// The scheduler only decides *order*; the SM supplies a readiness
+/// predicate at each issue attempt.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_sim::scheduler::{Scheduler, SchedPolicy};
+///
+/// let mut s = Scheduler::new(SchedPolicy::Gto, vec![0, 2, 4]);
+/// // Warp 2 is the only ready one.
+/// assert_eq!(s.pick(|w| w == 2), Some(2));
+/// // GTO keeps picking it while ready.
+/// assert_eq!(s.pick(|w| w == 2), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: SchedPolicy,
+    warps: Vec<usize>,
+    /// GTO: the warp to greedily retry. LRR: rotation offset.
+    cursor: usize,
+    greedy: Option<usize>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over the given warp ids (oldest first).
+    #[must_use]
+    pub fn new(policy: SchedPolicy, warps: Vec<usize>) -> Self {
+        Scheduler {
+            policy,
+            warps,
+            cursor: 0,
+            greedy: None,
+        }
+    }
+
+    /// The warps this scheduler owns.
+    #[must_use]
+    pub fn warps(&self) -> &[usize] {
+        &self.warps
+    }
+
+    /// Picks the next warp to issue from, or `None` if no owned warp
+    /// satisfies `ready`.
+    pub fn pick(&mut self, mut ready: impl FnMut(usize) -> bool) -> Option<usize> {
+        if self.warps.is_empty() {
+            return None;
+        }
+        match self.policy {
+            SchedPolicy::Gto => {
+                if let Some(g) = self.greedy {
+                    if ready(g) {
+                        return Some(g);
+                    }
+                }
+                // Oldest ready warp.
+                for &w in &self.warps {
+                    if ready(w) {
+                        self.greedy = Some(w);
+                        return Some(w);
+                    }
+                }
+                self.greedy = None;
+                None
+            }
+            SchedPolicy::Lrr => {
+                let n = self.warps.len();
+                for i in 0..n {
+                    let w = self.warps[(self.cursor + i) % n];
+                    if ready(w) {
+                        self.cursor = (self.cursor + i + 1) % n;
+                        return Some(w);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gto_sticks_with_greedy_warp() {
+        let mut s = Scheduler::new(SchedPolicy::Gto, vec![0, 1, 2]);
+        assert_eq!(s.pick(|_| true), Some(0));
+        assert_eq!(s.pick(|_| true), Some(0));
+        // Warp 0 stalls → oldest ready is 1.
+        assert_eq!(s.pick(|w| w != 0), Some(1));
+        // Greedy moves to 1.
+        assert_eq!(s.pick(|_| true), Some(1));
+    }
+
+    #[test]
+    fn gto_falls_back_to_oldest() {
+        let mut s = Scheduler::new(SchedPolicy::Gto, vec![3, 5, 7]);
+        assert_eq!(s.pick(|w| w == 7), Some(7));
+        // 7 stalls, 3 and 5 ready → oldest (3).
+        assert_eq!(s.pick(|w| w != 7), Some(3));
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let mut s = Scheduler::new(SchedPolicy::Lrr, vec![0, 1, 2]);
+        assert_eq!(s.pick(|_| true), Some(0));
+        assert_eq!(s.pick(|_| true), Some(1));
+        assert_eq!(s.pick(|_| true), Some(2));
+        assert_eq!(s.pick(|_| true), Some(0));
+    }
+
+    #[test]
+    fn none_when_nothing_ready() {
+        let mut s = Scheduler::new(SchedPolicy::Gto, vec![0, 1]);
+        assert_eq!(s.pick(|_| false), None);
+        let mut empty = Scheduler::new(SchedPolicy::Gto, vec![]);
+        assert_eq!(empty.pick(|_| true), None);
+    }
+}

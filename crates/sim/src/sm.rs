@@ -1,0 +1,972 @@
+//! The streaming multiprocessor: per-cycle issue, operand collection,
+//! execution, and writeback — with the G-Scalar mechanisms folded in.
+
+use gscalar_compress::regmeta::MetaConfig;
+use gscalar_compress::{bdi, bytewise, Encoding, RegFileMeta};
+use gscalar_isa::{AluOp, Dim3, FuncUnit, Instr, InstrKind, Kernel, Operand, Reg, Space};
+
+use crate::config::{ArchConfig, GpuConfig};
+use crate::exec;
+use crate::memory::{GlobalMemory, SharedMemory};
+use crate::memsys::MemSystem;
+use crate::pipeline::Pipe;
+use crate::regfile::{OcEntry, OperandCollectors, ReadReq};
+use crate::scheduler::Scheduler;
+use crate::scoreboard::Scoreboard;
+use crate::stats::{ScalarClass, Stats};
+use crate::warp::Warp;
+
+/// How an instruction is executed on its pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// All lanes driven (inactive lanes gated but slots dispatched).
+    Vector,
+    /// One lane active; one dispatch cycle (Section 4.1).
+    Scalar,
+    /// One lane per 16-lane chunk (Section 4.3).
+    Half,
+}
+
+/// An instruction in flight between issue and writeback.
+#[derive(Debug, Clone)]
+struct Inflight {
+    warp: usize,
+    instr: Instr,
+    mask: u64,
+    mode: ExecMode,
+    unit: FuncUnit,
+    /// Bank of the destination register (for writeback port pressure).
+    wb_bank: Option<usize>,
+    /// Destination write touches only the BVR (scalar write in a
+    /// compressed register file).
+    wb_bvr_only: bool,
+    /// Unique coalesced line addresses (global memory instructions).
+    mem_lines: Vec<u64>,
+    /// Shared-memory access.
+    shared: bool,
+    /// Store (no register writeback).
+    store: bool,
+    /// Extra result latency (decompress-move injection, int division).
+    extra_latency: u64,
+}
+
+/// State of one resident CTA.
+#[derive(Debug)]
+struct CtaState {
+    warps_total: usize,
+    warps_done: usize,
+    at_barrier: usize,
+    shared: SharedMemory,
+}
+
+/// A streaming multiprocessor.
+pub struct Sm {
+    id: usize,
+    cfg: GpuConfig,
+    arch: ArchConfig,
+    warps: Vec<Option<Warp>>,
+    scoreboards: Vec<Scoreboard>,
+    schedulers: Vec<Scheduler>,
+    oc: OperandCollectors<Inflight>,
+    alu_pipes: Vec<Pipe<Inflight>>,
+    sfu_pipe: Pipe<Inflight>,
+    lsu_pipe: Pipe<Inflight>,
+    regmeta: RegFileMeta,
+    ctas: Vec<Option<CtaState>>,
+    num_regs_per_warp: usize,
+    /// Latest scheduled scoreboard release (for idle skipping).
+    last_release: u64,
+    /// Statistics local to this SM.
+    pub stats: Stats,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("resident_warps", &self.resident_warps())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sm {
+    /// Creates an SM for one kernel execution.
+    #[must_use]
+    pub fn new(id: usize, cfg: &GpuConfig, arch: &ArchConfig, num_regs_per_warp: usize) -> Self {
+        let max_warps = cfg.warps_per_sm();
+        let per_sched = |s: usize| -> Vec<usize> {
+            (0..max_warps).filter(|w| w % cfg.schedulers == s).collect()
+        };
+        Sm {
+            id,
+            cfg: cfg.clone(),
+            arch: arch.clone(),
+            warps: (0..max_warps).map(|_| None).collect(),
+            scoreboards: (0..max_warps).map(|_| Scoreboard::new()).collect(),
+            schedulers: (0..cfg.schedulers)
+                .map(|s| Scheduler::new(cfg.sched, per_sched(s)))
+                .collect(),
+            oc: OperandCollectors::new(cfg.operand_collectors, cfg.rf_banks),
+            alu_pipes: (0..cfg.alu_pipes).map(|_| Pipe::new(cfg.simt_width)).collect(),
+            sfu_pipe: Pipe::new(cfg.sfu_width),
+            lsu_pipe: Pipe::new(cfg.simt_width),
+            regmeta: RegFileMeta::new(
+                cfg.vector_regs_per_sm(),
+                MetaConfig::g_scalar(cfg.warp_size),
+            ),
+            ctas: (0..cfg.ctas_per_sm).map(|_| None).collect(),
+            num_regs_per_warp: num_regs_per_warp.max(1),
+            last_release: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Number of resident (running) warps.
+    #[must_use]
+    pub fn resident_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Whether all resident work has finished and the pipelines drained.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.resident_warps() == 0
+            && !self.oc.any_pending()
+            && self.alu_pipes.iter().all(|p| p.in_flight() == 0)
+            && self.sfu_pipe.in_flight() == 0
+            && self.lsu_pipe.in_flight() == 0
+    }
+
+    /// Whether a CTA of `warps_needed` warps and `shared_bytes` shared
+    /// memory fits right now.
+    #[must_use]
+    pub fn can_accept_cta(&self, warps_needed: usize, shared_bytes: u32) -> bool {
+        if !self.ctas.iter().any(|c| c.is_none()) {
+            return false;
+        }
+        let free_warps = self.warps.iter().filter(|w| w.is_none()).count();
+        if free_warps < warps_needed {
+            return false;
+        }
+        // Register budget: every warp slot uses a fixed window.
+        let needed_regs = (self.resident_warps() + warps_needed) * self.num_regs_per_warp;
+        if needed_regs > self.cfg.vector_regs_per_sm() {
+            return false;
+        }
+        let used_shared: u32 = self
+            .ctas
+            .iter()
+            .flatten()
+            .map(|c| c.shared.len() as u32)
+            .sum();
+        used_shared + shared_bytes <= self.cfg.shared_mem_per_sm
+    }
+
+    /// Launches a CTA. `cta` is its grid coordinate, `launch` the
+    /// launch configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CTA does not fit; call
+    /// [`Sm::can_accept_cta`] first.
+    pub fn launch_cta(&mut self, kernel: &Kernel, cta: Dim3, grid: Dim3, block: Dim3) {
+        let threads = (block.count()).max(1) as usize;
+        let warps_needed = threads.div_ceil(self.cfg.warp_size);
+        assert!(
+            self.can_accept_cta(warps_needed, kernel.shared_mem_bytes()),
+            "CTA does not fit on SM {}",
+            self.id
+        );
+        let slot = self
+            .ctas
+            .iter()
+            .position(|c| c.is_none())
+            .expect("checked by can_accept_cta");
+        self.ctas[slot] = Some(CtaState {
+            warps_total: warps_needed,
+            warps_done: 0,
+            at_barrier: 0,
+            shared: SharedMemory::new(kernel.shared_mem_bytes()),
+        });
+        let mut remaining = threads;
+        let mut tid_base = 0u32;
+        for _ in 0..warps_needed {
+            let in_warp = remaining.min(self.cfg.warp_size);
+            let w = self
+                .warps
+                .iter()
+                .position(|w| w.is_none())
+                .expect("checked by can_accept_cta");
+            self.warps[w] = Some(Warp::new(
+                w,
+                slot,
+                self.cfg.warp_size,
+                in_warp,
+                kernel.num_regs() as usize,
+                tid_base,
+                cta,
+                block,
+                grid,
+            ));
+            self.scoreboards[w] = Scoreboard::new();
+            remaining -= in_warp;
+            tid_base += in_warp as u32;
+        }
+    }
+
+    /// Physical vector-register index of `(warp, reg)`.
+    fn phys_reg(&self, warp: usize, reg: Reg) -> usize {
+        warp * self.num_regs_per_warp + reg.index() as usize
+    }
+
+    fn bank_of(&self, phys: usize) -> usize {
+        phys % self.cfg.rf_banks
+    }
+
+    /// Runs one SM cycle. Returns the number of CTAs that completed
+    /// this cycle (the GPU replenishes them).
+    pub fn cycle(
+        &mut self,
+        now: u64,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+        memsys: &mut MemSystem,
+    ) -> usize {
+        // 1. Writeback.
+        let mut finished: Vec<Inflight> = Vec::new();
+        for p in &mut self.alu_pipes {
+            finished.append(&mut p.drain_finished(now));
+        }
+        finished.append(&mut self.sfu_pipe.drain_finished(now));
+        finished.append(&mut self.lsu_pipe.drain_finished(now));
+        let mut write_banks: Vec<usize> = Vec::new();
+        for f in &finished {
+            if let (Some(b), false) = (f.wb_bank, f.wb_bvr_only) {
+                write_banks.push(b);
+            }
+            let release = now + self.arch.extra_latency;
+            self.scoreboards[f.warp].release_at(&f.instr, release);
+            self.last_release = self.last_release.max(release);
+        }
+
+        // 2. Operand collection.
+        let arb = self.oc.arbitrate(&write_banks);
+        self.stats.pipe.bank_conflict_cycles += arb.data_conflicts;
+        self.stats.pipe.scalar_bank_serializations += arb.scalar_serializations;
+
+        // 3. Dispatch ready instructions to pipelines, gated by each
+        // pipe's dispatch port (structural backpressure: entries that
+        // find no port stay in their operand collector).
+        let mut alu_free = self.alu_pipes.iter().filter(|p| p.can_dispatch(now)).count();
+        let mut sfu_free = usize::from(self.sfu_pipe.can_dispatch(now));
+        let mut lsu_free = usize::from(self.lsu_pipe.can_dispatch(now));
+        let ready = self.oc.take_ready_when(|inst| {
+            let slot = match inst.unit {
+                FuncUnit::Alu => &mut alu_free,
+                FuncUnit::Sfu => &mut sfu_free,
+                FuncUnit::Mem => &mut lsu_free,
+                FuncUnit::Control => return true,
+            };
+            if *slot > 0 {
+                *slot -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        for inst in ready {
+            self.dispatch(inst, now, memsys);
+        }
+
+        // 4. Issue from each scheduler.
+        for w in 0..self.warps.len() {
+            if self.warps[w].is_some() {
+                self.scoreboards[w].expire(now);
+            }
+        }
+        let mut completed_ctas = 0;
+        for s in 0..self.schedulers.len() {
+            completed_ctas += self.issue_one(s, now, kernel, gmem);
+        }
+        completed_ctas
+    }
+
+    /// Earliest future event on this SM (pipe completion or scoreboard
+    /// release), for idle-cycle skipping.
+    #[must_use]
+    pub fn next_event(&self) -> Option<u64> {
+        let mut t = self
+            .alu_pipes
+            .iter()
+            .filter_map(Pipe::next_completion)
+            .min();
+        for c in [self.sfu_pipe.next_completion(), self.lsu_pipe.next_completion()] {
+            t = match (t, c) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        t
+    }
+
+    /// The latest scheduled scoreboard release time.
+    #[must_use]
+    pub fn last_release(&self) -> u64 {
+        self.last_release
+    }
+
+    /// Whether any operand collector is occupied (issue progress is
+    /// possible without new events).
+    #[must_use]
+    pub fn collectors_pending(&self) -> bool {
+        self.oc.any_pending()
+    }
+
+    // ---- issue ---------------------------------------------------------
+
+    /// Attempts one issue from scheduler `s`. Returns completed CTAs.
+    fn issue_one(
+        &mut self,
+        s: usize,
+        now: u64,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+    ) -> usize {
+        let oc_free = self.oc.free_slots() > 0;
+        let warps = &self.warps;
+        let scoreboards = &self.scoreboards;
+        let picked = self.schedulers[s].pick(|w| {
+            let Some(warp) = warps[w].as_ref() else {
+                return false;
+            };
+            if warp.is_done() || warp.at_barrier {
+                return false;
+            }
+            let instr = kernel.instr(warp.simt.pc());
+            if !scoreboards[w].can_issue(instr, now) {
+                return false;
+            }
+            // Non-control instructions need a collector slot.
+            instr.func_unit() == FuncUnit::Control || oc_free
+        });
+        let Some(w) = picked else {
+            self.stats.pipe.scheduler_idle_cycles += 1;
+            return 0;
+        };
+        self.stats.pipe.issued += 1;
+        self.execute_instruction(w, now, kernel, gmem)
+    }
+
+    /// Issues (and functionally executes) the instruction at warp `w`'s
+    /// PC. Returns completed CTAs.
+    fn execute_instruction(
+        &mut self,
+        w: usize,
+        now: u64,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+    ) -> usize {
+        let pc = self.warps[w].as_ref().expect("picked warp exists").simt.pc();
+        let instr = *kernel.instr(pc);
+        let warp = self.warps[w].as_mut().expect("picked warp exists");
+        let path_mask = warp.simt.active();
+        // Guard predication narrows the executing mask.
+        let guard_mask = if instr.guard.is_always() {
+            u64::MAX
+        } else {
+            let p = warp.pred(instr.guard.pred);
+            if instr.guard.negate {
+                !p
+            } else {
+                p
+            }
+        };
+        let mask = path_mask & guard_mask;
+        let divergent = mask != warp.thread_mask;
+
+        self.stats.instr.warp_instrs += 1;
+        self.stats.instr.thread_instrs += mask.count_ones() as u64;
+        if divergent {
+            self.stats.instr.divergent_instrs += 1;
+        }
+        match instr.func_unit() {
+            FuncUnit::Alu => self.stats.instr.alu_instrs += 1,
+            FuncUnit::Sfu => self.stats.instr.sfu_instrs += 1,
+            FuncUnit::Mem => self.stats.instr.mem_instrs += 1,
+            FuncUnit::Control => self.stats.instr.ctrl_instrs += 1,
+        }
+
+        // Control flow resolves at issue.
+        match instr.kind {
+            InstrKind::Bra { target } => {
+                let reconv = kernel.reconvergence_pc(pc);
+                warp.simt.branch(mask, target, pc + 1, reconv);
+                return 0;
+            }
+            InstrKind::Exit => {
+                warp.simt.exit();
+                if warp.is_done() {
+                    return self.retire_warp(w);
+                }
+                return 0;
+            }
+            InstrKind::Bar => {
+                warp.simt.advance(pc + 1);
+                warp.at_barrier = true;
+                let slot = warp.cta_slot;
+                let cta = self.ctas[slot].as_mut().expect("warp's CTA is resident");
+                cta.at_barrier += 1;
+                if cta.at_barrier >= cta.warps_total - cta.warps_done {
+                    cta.at_barrier = 0;
+                    for other in self.warps.iter_mut().flatten() {
+                        if other.cta_slot == slot {
+                            other.at_barrier = false;
+                        }
+                    }
+                }
+                return 0;
+            }
+            InstrKind::Nop => {
+                warp.simt.advance(pc + 1);
+                return 0;
+            }
+            _ => {}
+        }
+
+        if mask == 0 {
+            // Fully predicated-off: consumes the issue slot only.
+            let warp = self.warps[w].as_mut().expect("picked warp exists");
+            warp.simt.advance(pc + 1);
+            return 0;
+        }
+
+        // ---- operand gathering + classification ----
+        let ws = self.cfg.warp_size;
+        let src_regs = instr.src_regs();
+        let mut all_scalar = !matches!(instr.kind, InstrKind::S2R { .. });
+        let mut all_chunk_scalar = all_scalar;
+        let mut reads: Vec<ReadReq> = Vec::new();
+        for &r in &src_regs {
+            let phys = self.phys_reg(w, r);
+            let info = self.regmeta.read(phys, mask);
+            let d_stored = self.regmeta.meta(phys).d;
+            // Figure 8 histogram + scheme-independent energy accounting.
+            self.record_rf_read(w, r, &info, divergent, d_stored);
+            if !info.scalar {
+                all_scalar = false;
+            }
+            let chunk_ok = if d_stored {
+                false
+            } else if info.chunk_scalar.is_empty() {
+                info.scalar
+            } else {
+                info.chunk_scalar.iter().all(|&c| c)
+            };
+            if !chunk_ok {
+                all_chunk_scalar = false;
+            }
+            // Port selection for the timing model.
+            reads.push(self.read_port_for(phys, info.scalar, d_stored));
+        }
+        if let InstrKind::S2R { sreg, .. } = instr.kind {
+            if Warp::sreg_uniform(sreg) {
+                all_scalar = true;
+                all_chunk_scalar = true;
+            }
+        }
+
+        let unit = instr.func_unit();
+        let class = if divergent {
+            // `ReadInfo::scalar` already encodes Section 4.2's rule: a
+            // D-stored source is scalar only when its recorded mask
+            // matches this instruction's mask.
+            if all_scalar {
+                ScalarClass::Divergent
+            } else {
+                ScalarClass::Vector
+            }
+        } else if all_scalar {
+            match unit {
+                FuncUnit::Alu => ScalarClass::Alu,
+                FuncUnit::Sfu => ScalarClass::Sfu,
+                FuncUnit::Mem => ScalarClass::Mem,
+                FuncUnit::Control => ScalarClass::Vector,
+            }
+        } else if all_chunk_scalar {
+            ScalarClass::Half
+        } else {
+            ScalarClass::Vector
+        };
+        self.stats.instr.record_class(class);
+
+        let mode = match class {
+            ScalarClass::Alu if self.arch.scalar_alu => ExecMode::Scalar,
+            ScalarClass::Sfu if self.arch.scalar_sfu => ExecMode::Scalar,
+            ScalarClass::Mem if self.arch.scalar_mem => ExecMode::Scalar,
+            ScalarClass::Half if self.arch.scalar_half => ExecMode::Half,
+            ScalarClass::Divergent if self.arch.scalar_divergent => ExecMode::Scalar,
+            _ => ExecMode::Vector,
+        };
+        match mode {
+            ExecMode::Scalar => self.stats.instr.executed_scalar += 1,
+            ExecMode::Half => self.stats.instr.executed_half += 1,
+            ExecMode::Vector => {}
+        }
+
+        // ---- functional execution ----
+        let warp = self.warps[w].as_mut().expect("picked warp exists");
+        let resolve = |warp: &Warp, op: Operand, lane: usize| -> u32 {
+            match op {
+                Operand::Reg(r) if r.is_zero() => 0,
+                Operand::Reg(r) => warp.reg(r.index())[lane],
+                Operand::Imm(v) => v,
+            }
+        };
+        let mut result: Option<(Reg, Vec<u32>)> = None;
+        let mut mem_lines: Vec<u64> = Vec::new();
+        let mut shared_access = false;
+        let mut store = false;
+        let mut extra_latency = 0u64;
+        match instr.kind {
+            InstrKind::Alu { op, dst, a, b, c } => {
+                let mut vals = warp.reg_snapshot_or_zero(dst);
+                for (lane, v) in vals.iter_mut().enumerate() {
+                    if mask & (1 << lane) != 0 {
+                        *v = exec::eval_alu(
+                            op,
+                            resolve(warp, a, lane),
+                            resolve(warp, b, lane),
+                            resolve(warp, c, lane),
+                        );
+                    }
+                }
+                if op == AluOp::IDiv {
+                    extra_latency = self.cfg.lat.int_div - self.cfg.lat.int_alu;
+                }
+                result = Some((dst, vals));
+            }
+            InstrKind::Sfu { op, dst, a } => {
+                let mut vals = warp.reg_snapshot_or_zero(dst);
+                for (lane, v) in vals.iter_mut().enumerate() {
+                    if mask & (1 << lane) != 0 {
+                        *v = exec::eval_sfu(op, resolve(warp, a, lane));
+                    }
+                }
+                result = Some((dst, vals));
+            }
+            InstrKind::Mov { dst, src } => {
+                let mut vals = warp.reg_snapshot_or_zero(dst);
+                for (lane, v) in vals.iter_mut().enumerate() {
+                    if mask & (1 << lane) != 0 {
+                        *v = resolve(warp, src, lane);
+                    }
+                }
+                result = Some((dst, vals));
+            }
+            InstrKind::S2R { dst, sreg } => {
+                let mut vals = warp.reg_snapshot_or_zero(dst);
+                for (lane, v) in vals.iter_mut().enumerate() {
+                    if mask & (1 << lane) != 0 {
+                        *v = warp.sreg_value(sreg, lane, ws);
+                    }
+                }
+                result = Some((dst, vals));
+            }
+            InstrKind::SetP {
+                cmp,
+                float,
+                dst,
+                a,
+                b,
+            } => {
+                let mut bits = 0u64;
+                for lane in 0..ws {
+                    if mask & (1 << lane) != 0
+                        && exec::eval_cmp(
+                            cmp,
+                            float,
+                            resolve(warp, a, lane),
+                            resolve(warp, b, lane),
+                        )
+                    {
+                        bits |= 1 << lane;
+                    }
+                }
+                warp.write_pred(dst, bits, mask);
+            }
+            InstrKind::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
+                let mut vals = warp.reg_snapshot_or_zero(dst);
+                let slot = warp.cta_slot;
+                match space {
+                    Space::Global => {
+                        for (lane, v) in vals.iter_mut().enumerate() {
+                            if mask & (1 << lane) != 0 {
+                                let a = lane_addr(warp, addr, offset, lane);
+                                *v = gmem.read_u32(a);
+                                push_line(&mut mem_lines, a, self.cfg.line_bytes as u64);
+                            }
+                        }
+                    }
+                    Space::Shared => {
+                        shared_access = true;
+                        let shared = &self.ctas[slot].as_ref().expect("CTA resident").shared;
+                        for (lane, v) in vals.iter_mut().enumerate() {
+                            if mask & (1 << lane) != 0 {
+                                let a = lane_addr(warp, addr, offset, lane) as u32;
+                                *v = shared.read_u32(a);
+                            }
+                        }
+                    }
+                }
+                result = Some((dst, vals));
+            }
+            InstrKind::St {
+                space,
+                src,
+                addr,
+                offset,
+            } => {
+                store = true;
+                let slot = warp.cta_slot;
+                match space {
+                    Space::Global => {
+                        for lane in 0..ws {
+                            if mask & (1 << lane) != 0 {
+                                let a = lane_addr(warp, addr, offset, lane);
+                                gmem.write_u32(a, warp.reg(src.index())[lane]);
+                                push_line(&mut mem_lines, a, self.cfg.line_bytes as u64);
+                            }
+                        }
+                    }
+                    Space::Shared => {
+                        shared_access = true;
+                        let values: Vec<(u32, u32)> = (0..ws)
+                            .filter(|lane| mask & (1 << lane) != 0)
+                            .map(|lane| {
+                                (
+                                    lane_addr(warp, addr, offset, lane) as u32,
+                                    warp.reg(src.index())[lane],
+                                )
+                            })
+                            .collect();
+                        let shared =
+                            &mut self.ctas[slot].as_mut().expect("CTA resident").shared;
+                        for (a, v) in values {
+                            shared.write_u32(a, v);
+                        }
+                    }
+                }
+            }
+            InstrKind::Bra { .. } | InstrKind::Bar | InstrKind::Exit | InstrKind::Nop => {
+                unreachable!("control handled above")
+            }
+        }
+
+        // Commit the register result functionally and through the
+        // compression metadata.
+        let mut wb_bank = None;
+        let mut wb_bvr_only = false;
+        if let Some((dst, vals)) = &result {
+            if !dst.is_zero() {
+                let warp_mut = self.warps[w].as_mut().expect("picked warp exists");
+                warp_mut.write_reg(dst.index(), vals, mask);
+                let full_vals = warp_mut.reg_snapshot(dst.index());
+                let phys = self.phys_reg(w, *dst);
+                let winfo = self.regmeta.write(phys, &full_vals, mask);
+                wb_bank = Some(self.bank_of(phys));
+                wb_bvr_only = winfo.stored == Encoding::Scalar && !winfo.divergent;
+                if winfo.decompress_move {
+                    // Section 3.3: the compiler-assisted variant elides
+                    // the move when the destination's previous value is
+                    // provably dead.
+                    if self.arch.compiler_assisted_moves
+                        && !kernel.value_live_after(pc, *dst)
+                    {
+                        self.stats.instr.decompress_moves_elided += 1;
+                    } else {
+                        self.stats.instr.decompress_moves += 1;
+                        // The injected move reads+writes the full register.
+                        let total = self.cfg.arrays_per_bank() as u64;
+                        self.stats.rf.ours_arrays += 2 * total;
+                        self.stats.rf.ours_bvr += 2;
+                        extra_latency += 2;
+                    }
+                }
+                self.record_rf_write(&winfo, &full_vals, mask, divergent);
+            }
+        }
+
+        // Advance the PC past this instruction.
+        let warp = self.warps[w].as_mut().expect("picked warp exists");
+        warp.simt.advance(pc + 1);
+        self.scoreboards[w].reserve(&instr);
+
+        // Exec-unit energy accounting.
+        self.account_exec(&instr, mask, mode);
+
+        // Queue into an operand collector.
+        self.stats.pipe.oc_allocs += 1;
+        self.oc.insert(OcEntry {
+            payload: Inflight {
+                warp: w,
+                instr,
+                mask,
+                mode,
+                unit,
+                wb_bank,
+                wb_bvr_only,
+                mem_lines,
+                shared: shared_access,
+                store,
+                extra_latency,
+            },
+            reads,
+        });
+        let _ = now;
+        0
+    }
+
+    fn read_port_for(&self, phys: usize, scalar: bool, d_stored: bool) -> ReadReq {
+        let bank = self.bank_of(phys);
+        if scalar && !d_stored {
+            if self.arch.dedicated_scalar_rf {
+                return ReadReq::scalar_rf();
+            }
+            if self.arch.compression {
+                return ReadReq::bvr(bank);
+            }
+        }
+        ReadReq::data(bank)
+    }
+
+    fn record_rf_read(
+        &mut self,
+        w: usize,
+        r: Reg,
+        info: &gscalar_compress::ReadInfo,
+        divergent_access: bool,
+        d_stored: bool,
+    ) {
+        let total = self.cfg.arrays_per_bank() as u64;
+        let s = &mut self.stats.rf;
+        s.reads += 1;
+        s.baseline_arrays += total;
+        s.ours_arrays += info.arrays_read as u64;
+        s.ours_bvr += u64::from(info.bvr_read);
+        s.xbar_bytes_baseline += (self.cfg.warp_size * 4) as u64;
+        s.xbar_bytes_ours += (info.arrays_read * 16) as u64 + u64::from(info.bvr_read) * 4;
+        if info.arrays_read < self.cfg.arrays_per_bank() {
+            s.decompressor_ops += 1;
+        }
+        if info.scalar && !d_stored {
+            s.scalar_rf_small += 1;
+        } else {
+            s.scalar_rf_arrays += total;
+        }
+        // BDI (W-C) comparison: compress the current contents.
+        let warp = self.warps[w].as_ref().expect("reading warp exists");
+        let vals = warp.reg(r.index());
+        let bdi_res = bdi::compress(vals);
+        s.bdi_arrays += bdi_res.arrays_active(16) as u64;
+        // Figure 8 classification.
+        if divergent_access {
+            s.histogram.record_divergent();
+        } else {
+            let enc = bytewise::encode(vals, crate::full_mask(self.cfg.warp_size));
+            s.histogram.record(enc);
+        }
+    }
+
+    fn record_rf_write(
+        &mut self,
+        winfo: &gscalar_compress::WriteInfo,
+        vals: &[u32],
+        mask: u64,
+        divergent: bool,
+    ) {
+        let total = self.cfg.arrays_per_bank() as u64;
+        let s = &mut self.stats.rf;
+        s.writes += 1;
+        s.baseline_arrays += if divergent {
+            self.regmeta.baseline_arrays_for_mask(mask) as u64
+        } else {
+            total
+        };
+        s.ours_arrays += winfo.arrays_written as u64;
+        s.ours_bvr += u64::from(winfo.bvr_written);
+        s.compressor_ops += 1;
+        s.xbar_bytes_baseline += (self.cfg.warp_size * 4) as u64;
+        s.xbar_bytes_ours += (winfo.arrays_written * 16) as u64 + 4;
+        if winfo.enc.is_scalar() && !divergent {
+            s.scalar_rf_small += 1;
+        } else if divergent {
+            s.scalar_rf_arrays += self.regmeta.baseline_arrays_for_mask(mask) as u64;
+        } else {
+            s.scalar_rf_arrays += total;
+        }
+        let bdi_res = bdi::compress(vals);
+        s.bdi_arrays += bdi_res.arrays_active(16) as u64;
+        if divergent {
+            s.histogram.record_divergent();
+        } else {
+            s.histogram.record(winfo.enc);
+            s.raw_bytes += (self.cfg.warp_size * 4) as u64;
+            s.ours_bytes += winfo.enc.compressed_bytes(self.cfg.warp_size) as u64;
+            s.bdi_bytes += bdi_res.bytes as u64;
+        }
+    }
+
+    fn account_exec(&mut self, instr: &Instr, mask: u64, mode: ExecMode) {
+        let active = mask.count_ones() as u64;
+        let lanes_driven = match mode {
+            ExecMode::Vector => active,
+            ExecMode::Scalar => 1,
+            ExecMode::Half => (self.cfg.warp_size / gscalar_compress::CHUNK_LANES) as u64,
+        };
+        let saved = active.saturating_sub(lanes_driven);
+        let e = &mut self.stats.exec;
+        match instr.kind {
+            InstrKind::Sfu { .. } => {
+                e.sfu_lane_ops += lanes_driven;
+                e.sfu_lane_ops_saved += saved;
+            }
+            InstrKind::Alu { op, .. } if op.is_float() => {
+                e.fp_lane_ops += lanes_driven;
+                e.fp_lane_ops_saved += saved;
+            }
+            _ => {
+                e.int_lane_ops += lanes_driven;
+                e.int_lane_ops_saved += saved;
+            }
+        }
+    }
+
+    // ---- dispatch ------------------------------------------------------
+
+    fn dispatch(&mut self, inst: Inflight, now: u64, memsys: &mut MemSystem) {
+        let threads = self.cfg.warp_size;
+        // The paper's design clock-gates lanes during scalar execution
+        // but dispatches over the normal number of cycles; the optional
+        // fast-dispatch mode models the Section 6 one-cycle opportunity.
+        let fast = self.arch.scalar_fast_dispatch && inst.mode != ExecMode::Vector;
+        match inst.unit {
+            FuncUnit::Alu => {
+                let occupancy = if fast {
+                    1
+                } else {
+                    self.alu_pipes[0].occupancy(threads)
+                };
+                let latency = self.alu_latency(&inst.instr) + inst.extra_latency;
+                let pipe = self
+                    .alu_pipes
+                    .iter_mut()
+                    .find(|p| p.can_dispatch(now))
+                    .expect("dispatch gated on a free ALU port");
+                pipe.dispatch(now, occupancy, latency, inst);
+            }
+            FuncUnit::Sfu => {
+                let occupancy = if fast {
+                    1
+                } else {
+                    self.sfu_pipe.occupancy(threads)
+                };
+                let latency = self.cfg.lat.sfu + inst.extra_latency;
+                self.sfu_pipe.dispatch(now, occupancy, latency, inst);
+            }
+            FuncUnit::Mem => {
+                // The LSU only processes active lanes (divergent memory
+                // accesses dispatch in fewer beats).
+                let occupancy = if fast {
+                    1
+                } else {
+                    self.lsu_pipe
+                        .occupancy((inst.mask.count_ones() as usize).max(1))
+                };
+                self.lsu_pipe.reserve_dispatch(now, occupancy);
+                let mut finish = now + occupancy + self.cfg.lat.l1_hit;
+                if inst.shared {
+                    finish = now + occupancy + self.cfg.lat.shared_mem;
+                    self.stats.mem.shared_accesses += 1;
+                } else {
+                    if inst.mem_lines.len() == 1 {
+                        self.stats.mem.fully_coalesced += 1;
+                    }
+                    for &line in &inst.mem_lines {
+                        let t = memsys.access(self.id, line, inst.store, now, &mut self.stats.mem);
+                        finish = finish.max(t);
+                    }
+                }
+                self.lsu_pipe.complete_at(finish, inst);
+            }
+            FuncUnit::Control => unreachable!("control never reaches dispatch"),
+        }
+    }
+
+    fn alu_latency(&self, instr: &Instr) -> u64 {
+        match instr.kind {
+            InstrKind::Alu { op, .. } => match op {
+                AluOp::IMul | AluOp::IMad => self.cfg.lat.int_mul,
+                op if op.is_float() => self.cfg.lat.fp_alu,
+                _ => self.cfg.lat.int_alu,
+            },
+            _ => self.cfg.lat.int_alu,
+        }
+    }
+
+    /// Retires a finished warp; returns completed CTAs (0 or 1).
+    fn retire_warp(&mut self, w: usize) -> usize {
+        let slot = self.warps[w].as_ref().expect("retiring warp exists").cta_slot;
+        self.warps[w] = None;
+        let cta = self.ctas[slot].as_mut().expect("warp's CTA resident");
+        cta.warps_done += 1;
+        // A warp exiting may release a barrier its siblings wait on.
+        if cta.at_barrier > 0 && cta.at_barrier >= cta.warps_total - cta.warps_done {
+            cta.at_barrier = 0;
+            for other in self.warps.iter_mut().flatten() {
+                if other.cta_slot == slot {
+                    other.at_barrier = false;
+                }
+            }
+        }
+        if cta.warps_done == cta.warps_total {
+            self.ctas[slot] = None;
+            return 1;
+        }
+        0
+    }
+}
+
+/// Computes a lane's effective byte address.
+fn lane_addr(warp: &Warp, addr: Reg, offset: i32, lane: usize) -> u64 {
+    let base = if addr.is_zero() {
+        0
+    } else {
+        warp.reg(addr.index())[lane]
+    };
+    (u64::from(base)).wrapping_add(offset as i64 as u64)
+}
+
+/// Adds the cache line of `addr` to `lines` if not yet present.
+fn push_line(lines: &mut Vec<u64>, addr: u64, line_bytes: u64) {
+    let line = addr / line_bytes * line_bytes;
+    if !lines.contains(&line) {
+        lines.push(line);
+    }
+}
+
+impl Warp {
+    /// Snapshot of `dst`, or a zero vector for RZ (whose writes are
+    /// discarded but must not index the register array).
+    fn reg_snapshot_or_zero(&self, dst: Reg) -> Vec<u32> {
+        if dst.is_zero() {
+            vec![0; self.reg(0).len().max(1)]
+        } else {
+            self.reg_snapshot(dst.index())
+        }
+    }
+}

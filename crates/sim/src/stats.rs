@@ -1,0 +1,380 @@
+//! Simulation statistics: everything the paper's figures are built from.
+
+use gscalar_compress::EncodingHistogram;
+
+/// Scalar-execution eligibility classes, matching the cumulative
+/// categories of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarClass {
+    /// Not eligible for any form of scalar execution.
+    Vector,
+    /// Non-divergent ALU instruction with all-scalar operands
+    /// (the prior-work "ALU scalar" class).
+    Alu,
+    /// Non-divergent SFU instruction with all-scalar operands.
+    Sfu,
+    /// Non-divergent memory instruction with a uniform address (and
+    /// value, for stores).
+    Mem,
+    /// Non-divergent instruction scalar per 16-lane chunk but not as a
+    /// whole warp.
+    Half,
+    /// Divergent instruction whose active lanes see scalar operands
+    /// with a matching recorded mask (Section 4.2).
+    Divergent,
+}
+
+/// Instruction-mix and scalar-eligibility counters (warp-level
+/// instructions).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrStats {
+    /// Warp-level dynamic instructions.
+    pub warp_instrs: u64,
+    /// Thread-level dynamic instructions (sum of active lanes).
+    pub thread_instrs: u64,
+    /// Warp instructions on each functional unit.
+    pub alu_instrs: u64,
+    /// SFU warp instructions.
+    pub sfu_instrs: u64,
+    /// Memory warp instructions.
+    pub mem_instrs: u64,
+    /// Control (branch/bar/exit) warp instructions.
+    pub ctrl_instrs: u64,
+    /// Divergent warp instructions (active mask ≠ warp mask).
+    pub divergent_instrs: u64,
+    /// Eligibility counts per class (Figure 9); `Vector` not counted.
+    pub eligible_alu: u64,
+    /// Eligible non-divergent SFU scalar instructions.
+    pub eligible_sfu: u64,
+    /// Eligible non-divergent memory scalar instructions.
+    pub eligible_mem: u64,
+    /// Eligible half-warp scalar instructions.
+    pub eligible_half: u64,
+    /// Eligible divergent scalar instructions (Figure 1's second bar).
+    pub eligible_divergent: u64,
+    /// Instructions actually *executed* scalar under the active
+    /// architecture.
+    pub executed_scalar: u64,
+    /// Instructions executed half-warp scalar.
+    pub executed_half: u64,
+    /// Decompress-move instructions injected before divergent writes to
+    /// compressed registers (Section 3.3 overhead).
+    pub decompress_moves: u64,
+    /// Decompress-moves elided by compiler-assisted liveness
+    /// (Section 3.3's compile-time optimization).
+    pub decompress_moves_elided: u64,
+}
+
+impl InstrStats {
+    /// Records eligibility of one warp instruction.
+    pub fn record_class(&mut self, class: ScalarClass) {
+        match class {
+            ScalarClass::Vector => {}
+            ScalarClass::Alu => self.eligible_alu += 1,
+            ScalarClass::Sfu => self.eligible_sfu += 1,
+            ScalarClass::Mem => self.eligible_mem += 1,
+            ScalarClass::Half => self.eligible_half += 1,
+            ScalarClass::Divergent => self.eligible_divergent += 1,
+        }
+    }
+
+    /// Total instructions eligible for any scalar class.
+    #[must_use]
+    pub fn eligible_total(&self) -> u64 {
+        self.eligible_alu
+            + self.eligible_sfu
+            + self.eligible_mem
+            + self.eligible_half
+            + self.eligible_divergent
+    }
+}
+
+/// Register-file access event counters, recorded *scheme-independently*
+/// so Figure 12 can compare all four register-file designs from one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RfStats {
+    /// Vector-register read accesses.
+    pub reads: u64,
+    /// Vector-register write accesses.
+    pub writes: u64,
+    /// Baseline scheme: SRAM arrays activated (full-width accesses plus
+    /// mask-dependent partial writes, Section 3.3).
+    pub baseline_arrays: u64,
+    /// Our byte-wise scheme: data SRAM arrays activated.
+    pub ours_arrays: u64,
+    /// Our scheme: BVR/EBR small-array accesses.
+    pub ours_bvr: u64,
+    /// W-C (BDI) scheme: SRAM arrays activated.
+    pub bdi_arrays: u64,
+    /// Scalar-RF scheme \[3\]: accesses served by the small scalar RF.
+    pub scalar_rf_small: u64,
+    /// Scalar-RF scheme \[3\]: accesses served by the full-width RF
+    /// (in SRAM array activations).
+    pub scalar_rf_arrays: u64,
+    /// Crossbar bytes moved, baseline (full vector always).
+    pub xbar_bytes_baseline: u64,
+    /// Crossbar bytes moved, our scheme (base bytes never travel).
+    pub xbar_bytes_ours: u64,
+    /// Compressor invocations (one per write-back in compressed archs).
+    pub compressor_ops: u64,
+    /// Decompressor invocations (one per compressed operand read).
+    pub decompressor_ops: u64,
+    /// Raw bytes of all non-divergent register writes (ratio basis).
+    pub raw_bytes: u64,
+    /// Bytes after byte-wise compression for those writes.
+    pub ours_bytes: u64,
+    /// Bytes after BDI compression for those writes.
+    pub bdi_bytes: u64,
+    /// Figure 8 histogram over operand accesses.
+    pub histogram: EncodingHistogram,
+}
+
+impl RfStats {
+    /// Aggregate compression ratio of the byte-wise scheme
+    /// (total raw bytes / total compressed bytes, Section 5.3).
+    #[must_use]
+    pub fn ours_ratio(&self) -> f64 {
+        if self.ours_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.ours_bytes as f64
+        }
+    }
+
+    /// Aggregate compression ratio of BDI.
+    #[must_use]
+    pub fn bdi_ratio(&self) -> f64 {
+        if self.bdi_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.bdi_bytes as f64
+        }
+    }
+}
+
+/// Execution-unit activity counters (for the power model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Integer ALU lane-operations.
+    pub int_lane_ops: u64,
+    /// Floating-point ALU lane-operations.
+    pub fp_lane_ops: u64,
+    /// SFU lane-operations.
+    pub sfu_lane_ops: u64,
+    /// Lane-operations *avoided* by scalar execution (clock-gated lanes
+    /// that a vector execution would have driven), per unit class.
+    pub int_lane_ops_saved: u64,
+    /// FP lane-operations saved by scalar execution.
+    pub fp_lane_ops_saved: u64,
+    /// SFU lane-operations saved by scalar execution.
+    pub sfu_lane_ops_saved: u64,
+}
+
+/// Memory-system counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Coalesced global accesses (cache-line granules) issued.
+    pub global_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Shared-memory accesses (warp-level).
+    pub shared_accesses: u64,
+    /// NoC flit-equivalents moved (line transfers × 2 directions).
+    pub noc_flits: u64,
+    /// Memory warp instructions whose lanes coalesced to one line.
+    pub fully_coalesced: u64,
+}
+
+/// Pipeline/front-end counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Instructions issued by schedulers.
+    pub issued: u64,
+    /// Cycles a scheduler found no ready warp.
+    pub scheduler_idle_cycles: u64,
+    /// Operand-collector allocations.
+    pub oc_allocs: u64,
+    /// Cycles instructions waited on RF bank conflicts (sum).
+    pub bank_conflict_cycles: u64,
+    /// Reads serialized on the dedicated scalar RF bank (prior-work
+    /// architecture, the Section 4.1 bottleneck).
+    pub scalar_bank_serializations: u64,
+}
+
+/// Complete statistics for one simulated kernel run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Elapsed SM cycles.
+    pub cycles: u64,
+    /// Instruction counters.
+    pub instr: InstrStats,
+    /// Register-file counters.
+    pub rf: RfStats,
+    /// Execution-unit counters.
+    pub exec: ExecStats,
+    /// Memory-system counters.
+    pub mem: MemStats,
+    /// Pipeline counters.
+    pub pipe: PipeStats,
+}
+
+impl Stats {
+    /// Thread-level IPC.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instr.thread_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Warp-level IPC.
+    #[must_use]
+    pub fn warp_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instr.warp_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of warp instructions that are divergent (Figure 1).
+    #[must_use]
+    pub fn divergent_fraction(&self) -> f64 {
+        if self.instr.warp_instrs == 0 {
+            0.0
+        } else {
+            self.instr.divergent_instrs as f64 / self.instr.warp_instrs as f64
+        }
+    }
+
+    /// Merges another run's statistics (used to aggregate across SMs).
+    pub fn merge(&mut self, o: &Stats) {
+        self.cycles = self.cycles.max(o.cycles);
+        let i = &mut self.instr;
+        let oi = &o.instr;
+        i.warp_instrs += oi.warp_instrs;
+        i.thread_instrs += oi.thread_instrs;
+        i.alu_instrs += oi.alu_instrs;
+        i.sfu_instrs += oi.sfu_instrs;
+        i.mem_instrs += oi.mem_instrs;
+        i.ctrl_instrs += oi.ctrl_instrs;
+        i.divergent_instrs += oi.divergent_instrs;
+        i.eligible_alu += oi.eligible_alu;
+        i.eligible_sfu += oi.eligible_sfu;
+        i.eligible_mem += oi.eligible_mem;
+        i.eligible_half += oi.eligible_half;
+        i.eligible_divergent += oi.eligible_divergent;
+        i.executed_scalar += oi.executed_scalar;
+        i.executed_half += oi.executed_half;
+        i.decompress_moves += oi.decompress_moves;
+        i.decompress_moves_elided += oi.decompress_moves_elided;
+        let r = &mut self.rf;
+        let or = &o.rf;
+        r.reads += or.reads;
+        r.writes += or.writes;
+        r.baseline_arrays += or.baseline_arrays;
+        r.ours_arrays += or.ours_arrays;
+        r.ours_bvr += or.ours_bvr;
+        r.bdi_arrays += or.bdi_arrays;
+        r.scalar_rf_small += or.scalar_rf_small;
+        r.scalar_rf_arrays += or.scalar_rf_arrays;
+        r.xbar_bytes_baseline += or.xbar_bytes_baseline;
+        r.xbar_bytes_ours += or.xbar_bytes_ours;
+        r.compressor_ops += or.compressor_ops;
+        r.decompressor_ops += or.decompressor_ops;
+        r.raw_bytes += or.raw_bytes;
+        r.ours_bytes += or.ours_bytes;
+        r.bdi_bytes += or.bdi_bytes;
+        r.histogram.merge(&or.histogram);
+        let e = &mut self.exec;
+        let oe = &o.exec;
+        e.int_lane_ops += oe.int_lane_ops;
+        e.fp_lane_ops += oe.fp_lane_ops;
+        e.sfu_lane_ops += oe.sfu_lane_ops;
+        e.int_lane_ops_saved += oe.int_lane_ops_saved;
+        e.fp_lane_ops_saved += oe.fp_lane_ops_saved;
+        e.sfu_lane_ops_saved += oe.sfu_lane_ops_saved;
+        let m = &mut self.mem;
+        let om = &o.mem;
+        m.global_accesses += om.global_accesses;
+        m.l1_hits += om.l1_hits;
+        m.l1_misses += om.l1_misses;
+        m.l2_hits += om.l2_hits;
+        m.l2_misses += om.l2_misses;
+        m.shared_accesses += om.shared_accesses;
+        m.noc_flits += om.noc_flits;
+        m.fully_coalesced += om.fully_coalesced;
+        let p = &mut self.pipe;
+        let op = &o.pipe;
+        p.issued += op.issued;
+        p.scheduler_idle_cycles += op.scheduler_idle_cycles;
+        p.oc_allocs += op.oc_allocs;
+        p.bank_conflict_cycles += op.bank_conflict_cycles;
+        p.scalar_bank_serializations += op.scalar_bank_serializations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility_classes_accumulate() {
+        let mut s = InstrStats::default();
+        s.record_class(ScalarClass::Alu);
+        s.record_class(ScalarClass::Sfu);
+        s.record_class(ScalarClass::Divergent);
+        s.record_class(ScalarClass::Vector);
+        assert_eq!(s.eligible_total(), 3);
+        assert_eq!(s.eligible_alu, 1);
+        assert_eq!(s.eligible_divergent, 1);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.divergent_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_cycles() {
+        let mut a = Stats {
+            cycles: 100,
+            ..Default::default()
+        };
+        a.instr.warp_instrs = 10;
+        let mut b = Stats {
+            cycles: 150,
+            ..Default::default()
+        };
+        b.instr.warp_instrs = 5;
+        b.rf.reads = 7;
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.instr.warp_instrs, 15);
+        assert_eq!(a.rf.reads, 7);
+    }
+
+    #[test]
+    fn ratios_are_byte_aggregates() {
+        let r = RfStats {
+            raw_bytes: 256,
+            ours_bytes: 100,
+            bdi_bytes: 128,
+            ..Default::default()
+        };
+        assert!((r.ours_ratio() - 2.56).abs() < 1e-9);
+        assert!((r.bdi_ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(RfStats::default().ours_ratio(), 1.0);
+        assert_eq!(RfStats::default().bdi_ratio(), 1.0);
+    }
+}

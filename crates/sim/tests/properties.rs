@@ -1,0 +1,215 @@
+//! Differential fuzzing: randomly generated structured SIMT kernels
+//! must produce identical memory under the cycle-level simulator and
+//! the per-thread reference interpreter — including data-dependent
+//! divergence, nested control flow, and loops.
+
+use gscalar_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Pred, Reg, SReg};
+use gscalar_sim::memory::GlobalMemory;
+use gscalar_sim::reference::run_reference;
+use gscalar_sim::{ArchConfig, Gpu, GpuConfig};
+use proptest::prelude::*;
+
+/// A random structured statement operating on an accumulator `x` and
+/// the thread id, with data-dependent branching for divergence.
+#[derive(Debug, Clone)]
+enum Stmt {
+    AddImm(u32),
+    MulTid,
+    XorShift(u32),
+    SfuRound,
+    IfTidLt(u32, Vec<Stmt>),
+    IfElseParity(Vec<Stmt>, Vec<Stmt>),
+    LoopTidMasked(u8, Vec<Stmt>),
+    StoreLoad,
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (1u32..100).prop_map(Stmt::AddImm),
+        Just(Stmt::MulTid),
+        (1u32..31).prop_map(Stmt::XorShift),
+        Just(Stmt::SfuRound),
+        Just(Stmt::StoreLoad),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (1u32..100).prop_map(Stmt::AddImm),
+            Just(Stmt::MulTid),
+            Just(Stmt::StoreLoad),
+            ((1u32..64), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(n, b)| Stmt::IfTidLt(n, b)),
+            (
+                proptest::collection::vec(inner.clone(), 1..2),
+                proptest::collection::vec(inner.clone(), 1..2)
+            )
+                .prop_map(|(t, e)| Stmt::IfElseParity(t, e)),
+            ((1u8..4), proptest::collection::vec(inner, 1..2))
+                .prop_map(|(n, b)| Stmt::LoopTidMasked(n, b)),
+        ]
+    })
+}
+
+struct Ctx {
+    x: Reg,
+    tid: Reg,
+    scratch: Reg,
+    p: Pred,
+}
+
+fn emit(b: &mut KernelBuilder, c: &Ctx, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::AddImm(v) => b.iadd_to(c.x, c.x.into(), Operand::Imm(*v)),
+            Stmt::MulTid => {
+                b.alu_to(
+                    gscalar_isa::AluOp::IMad,
+                    c.x,
+                    c.x.into(),
+                    Operand::Imm(3),
+                    c.tid.into(),
+                );
+            }
+            Stmt::XorShift(n) => {
+                b.alu_to(
+                    gscalar_isa::AluOp::Shl,
+                    c.scratch,
+                    c.x.into(),
+                    Operand::Imm(*n),
+                    Reg::RZ.into(),
+                );
+                b.alu_to(
+                    gscalar_isa::AluOp::Xor,
+                    c.x,
+                    c.x.into(),
+                    c.scratch.into(),
+                    Reg::RZ.into(),
+                );
+            }
+            Stmt::SfuRound => {
+                // Keep the value integral so float rounding stays exact:
+                // x = x + f2i(sqrt(float(x & 0xFF))).
+                b.alu_to(
+                    gscalar_isa::AluOp::And,
+                    c.scratch,
+                    c.x.into(),
+                    Operand::Imm(0xFF),
+                    Reg::RZ.into(),
+                );
+                b.alu_to(
+                    gscalar_isa::AluOp::I2F,
+                    c.scratch,
+                    c.scratch.into(),
+                    Reg::RZ.into(),
+                    Reg::RZ.into(),
+                );
+                b.sfu_to(gscalar_isa::SfuOp::Sqrt, c.scratch, c.scratch.into());
+                b.alu_to(
+                    gscalar_isa::AluOp::F2I,
+                    c.scratch,
+                    c.scratch.into(),
+                    Reg::RZ.into(),
+                    Reg::RZ.into(),
+                );
+                b.iadd_to(c.x, c.x.into(), c.scratch.into());
+            }
+            Stmt::IfTidLt(n, body) => {
+                b.isetp_to(c.p, CmpOp::Lt, c.tid.into(), Operand::Imm(*n));
+                b.if_then(c.p.into(), |b| emit(b, c, body));
+            }
+            Stmt::IfElseParity(t, e) => {
+                b.alu_to(
+                    gscalar_isa::AluOp::And,
+                    c.scratch,
+                    c.x.into(),
+                    Operand::Imm(1),
+                    Reg::RZ.into(),
+                );
+                b.isetp_to(c.p, CmpOp::Eq, c.scratch.into(), Operand::Imm(0));
+                b.if_else(c.p.into(), |b| emit(b, c, t), |b| emit(b, c, e));
+            }
+            Stmt::LoopTidMasked(n, body) => {
+                // Trip count varies per lane: tid & 3 + n.
+                b.alu_to(
+                    gscalar_isa::AluOp::And,
+                    c.scratch,
+                    c.tid.into(),
+                    Operand::Imm(3),
+                    Reg::RZ.into(),
+                );
+                b.iadd_to(c.scratch, c.scratch.into(), Operand::Imm(u32::from(*n)));
+                let i = b.mov(Operand::Imm(0));
+                let limit = b.mov(c.scratch.into());
+                b.while_loop(
+                    |b| b.isetp(CmpOp::Lt, i.into(), limit.into()).into(),
+                    |b| {
+                        emit(b, c, body);
+                        b.iadd_to(i, i.into(), Operand::Imm(1));
+                    },
+                );
+            }
+            Stmt::StoreLoad => {
+                // Round-trip x through this thread's private cell.
+                let off = b.shl(c.tid.into(), Operand::Imm(2));
+                let addr = b.iadd(off.into(), Operand::Imm(0x20_0000));
+                b.st_global(addr, c.x, 0);
+                b.ld_global_to(c.x, addr, 0);
+            }
+        }
+    }
+}
+
+fn build_kernel(prog: &[Stmt]) -> gscalar_isa::Kernel {
+    let mut b = KernelBuilder::new("fuzz");
+    let tid = b.s2r(SReg::TidX);
+    let x = b.mov(Operand::Imm(1));
+    let scratch = b.mov(Operand::Imm(0));
+    let p = b.pred();
+    let ctx = Ctx { x, tid, scratch, p };
+    emit(&mut b, &ctx, prog);
+    // Publish the result.
+    let off = b.shl(tid.into(), Operand::Imm(2));
+    let addr = b.iadd(off.into(), Operand::Imm(0x30_0000));
+    b.st_global(addr, x, 0);
+    b.exit();
+    b.build().expect("fuzz kernel builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn random_structured_kernels_match_reference(
+        prog in proptest::collection::vec(stmt(), 1..5)
+    ) {
+        let kernel = build_kernel(&prog);
+        let launch = LaunchConfig::linear(2, 64);
+        let mut expect = GlobalMemory::new();
+        run_reference(&kernel, launch, &mut expect);
+        for arch in [ArchConfig::baseline(), gscalar_arch_full()] {
+            let mut got = GlobalMemory::new();
+            let mut gpu = Gpu::new(GpuConfig::test_small(), arch);
+            gpu.run(&kernel, launch, &mut got);
+            prop_assert!(
+                got.content_eq(&expect),
+                "divergence at {:?} for kernel:\n{}",
+                got.first_difference(&expect),
+                kernel
+            );
+        }
+    }
+}
+
+fn gscalar_arch_full() -> ArchConfig {
+    ArchConfig {
+        name: "gscalar-fuzz".into(),
+        scalar_alu: true,
+        scalar_sfu: true,
+        scalar_mem: true,
+        scalar_half: true,
+        scalar_divergent: true,
+        compression: true,
+        dedicated_scalar_rf: false,
+        extra_latency: 3,
+        compiler_assisted_moves: true,
+        scalar_fast_dispatch: false,
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic input generators with controlled value similarity.
+//!
+//! The G-Scalar results are driven by *value structure* — warp-uniform
+//! parameters, address-like integers that differ only in low bytes,
+//! clustered floats sharing exponent bytes — so each generator documents
+//! which register-compression category its data lands in.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard buffer base addresses used by every workload.
+pub mod bufs {
+    /// First input buffer.
+    pub const A: u64 = 0x1000_0000;
+    /// Second input buffer.
+    pub const B: u64 = 0x2000_0000;
+    /// Third input buffer.
+    pub const C: u64 = 0x3000_0000;
+    /// Parameter block (warp-uniform reads).
+    pub const PARAMS: u64 = 0x0800_0000;
+    /// Output buffer.
+    pub const OUT: u64 = 0x4000_0000;
+    /// Auxiliary output buffer.
+    pub const OUT2: u64 = 0x5000_0000;
+}
+
+/// A seeded RNG for workload `seed` (deterministic across runs).
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniformly random `f32` values in `[lo, hi)` — clustered magnitudes
+/// share the sign/exponent byte, so vector registers of these typically
+/// compress to the 1-byte ("B3") category.
+#[must_use]
+pub fn f32_uniform(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.random_range(lo..hi)).collect()
+}
+
+/// Small non-negative integers below `max` — values share the top three
+/// bytes (all zero), compressing to the 3-byte ("B321") category.
+#[must_use]
+pub fn small_ints(n: usize, max: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.random_range(0..max)).collect()
+}
+
+/// Ascending integers from `start` with step `step` — address-like
+/// values where consecutive lanes differ only in low bytes.
+#[must_use]
+pub fn ascending(n: usize, start: u32, step: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| start.wrapping_add(i * step)).collect()
+}
+
+/// A constant vector (fully scalar).
+#[must_use]
+pub fn constant(n: usize, v: u32) -> Vec<u32> {
+    vec![v; n]
+}
+
+/// Per-element loop trip counts: mostly `base`, with every
+/// `1/outlier_every`-th element boosted to `base + extra` — creating
+/// intra-warp divergence with a controlled footprint.
+#[must_use]
+pub fn trip_counts(n: usize, base: u32, extra: u32, outlier_every: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            if outlier_every > 0 && r.random_range(0..outlier_every) == 0 {
+                base + extra
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// Cell-type flags where runs of `run_len` elements share a type drawn
+/// from `0..types`; warps covering one run see a uniform flag (scalar
+/// compare), warps straddling runs diverge — the LBM/heartwall pattern.
+#[must_use]
+pub fn run_flags(n: usize, types: u32, run_len: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let t = r.random_range(0..types);
+        for _ in 0..run_len.min(n - out.len()) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Cell-type flags alternating deterministically every `run_len`
+/// elements (0, 1, 0, 1, …). With `run_len` smaller than the warp size
+/// every warp straddles at least one boundary and diverges — the
+/// strongly-divergent LBM pattern.
+#[must_use]
+pub fn alternating_flags(n: usize, run_len: usize) -> Vec<u32> {
+    (0..n).map(|i| ((i / run_len.max(1)) % 2) as u32).collect()
+}
+
+/// Per-warp-uniform loop trip counts: every lane of a 32-thread warp
+/// gets the same count (`base + hash(warp) % spread`), so loops bound by
+/// these never diverge — rows of similar length sorted warp-wise, the
+/// spmv pattern.
+#[must_use]
+pub fn warp_uniform_trips(n: usize, base: u32, spread: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut current = base;
+    for i in 0..n {
+        if i % 32 == 0 {
+            current = base + r.random_range(0..spread.max(1));
+        }
+        out.push(current);
+    }
+    out
+}
+
+/// Per-lane mixed flags: each element drawn independently — warps
+/// always diverge on these (the irregular-control pattern).
+#[must_use]
+pub fn random_flags(n: usize, p_true_percent: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| u32::from(r.random_range(0..100) < p_true_percent))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gscalar_compress::{bytewise, full_mask, Encoding};
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(f32_uniform(8, 0.0, 1.0, 7), f32_uniform(8, 0.0, 1.0, 7));
+        assert_eq!(small_ints(8, 100, 3), small_ints(8, 100, 3));
+        assert_eq!(trip_counts(8, 4, 8, 4, 1), trip_counts(8, 4, 8, 4, 1));
+    }
+
+    #[test]
+    fn ascending_compresses_to_3byte() {
+        let v = ascending(32, 0x1000_0000, 4);
+        assert_eq!(bytewise::encode(&v, full_mask(32)), Encoding::B321);
+    }
+
+    #[test]
+    fn constants_are_scalar() {
+        let v = constant(32, 42);
+        assert_eq!(bytewise::encode(&v, full_mask(32)), Encoding::Scalar);
+    }
+
+    #[test]
+    fn clustered_floats_share_exponent_byte() {
+        let v: Vec<u32> = f32_uniform(32, 64.0, 127.0, 5)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        let enc = bytewise::encode(&v, full_mask(32));
+        assert!(enc >= Encoding::B3, "clustered f32 got {enc}");
+    }
+
+    #[test]
+    fn small_ints_share_high_bytes() {
+        let v = small_ints(32, 200, 9);
+        let enc = bytewise::encode(&v, full_mask(32));
+        assert!(enc >= Encoding::B321);
+    }
+
+    #[test]
+    fn run_flags_have_uniform_runs() {
+        let v = run_flags(256, 3, 64, 11);
+        assert_eq!(v.len(), 256);
+        // Within one run all values equal.
+        assert!(v[..64].iter().all(|&x| x == v[0]));
+        assert!(v.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn trip_counts_mix_base_and_outliers() {
+        let v = trip_counts(1000, 4, 8, 5, 13);
+        let outliers = v.iter().filter(|&&x| x == 12).count();
+        assert!(outliers > 100 && outliers < 350, "got {outliers}");
+        assert!(v.iter().all(|&x| x == 4 || x == 12));
+    }
+
+    #[test]
+    fn random_flags_probability() {
+        let v = random_flags(2000, 25, 17);
+        let ones = v.iter().sum::<u32>();
+        assert!((350..650).contains(&ones), "got {ones}");
+    }
+}

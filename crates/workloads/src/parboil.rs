@@ -1,0 +1,596 @@
+//! Synthetic Parboil-suite kernels (Table 2, right column).
+
+use gscalar_core::Workload;
+use gscalar_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, SReg};
+use gscalar_sim::memory::GlobalMemory;
+
+use crate::gen::{self, bufs};
+use crate::util::{elem_addr, global_tid, load_param, warp_group_param, Scale};
+
+/// `cutcp` (CC): cutoff Coulomb potential — every thread scans the same
+/// atom list (scalar loads), computes a per-thread distance, and enters
+/// a divergent cutoff branch containing an SFU `rsqrt` plus
+/// uniform-charge scalar math.
+#[must_use]
+pub fn cutcp(scale: Scale) -> Workload {
+    let ctas = scale.pick(52, 3);
+    let block = 192;
+    let atoms = scale.pick(16, 4);
+    let mut b = KernelBuilder::new("cutcp");
+    let gid = global_tid(&mut b);
+    let xaddr = elem_addr(&mut b, bufs::A, gid);
+    let x = b.ld_global(xaddr, 0);
+    let natoms = load_param(&mut b, 0);
+    let cutoff2 = load_param(&mut b, 1);
+    let acc = b.mov_f32(0.0);
+    let a = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, a.into(), natoms.into()).into(),
+        |b| {
+            // Atom position/charge: warp-uniform (scalar) loads.
+            let aoff = b.shl(a.into(), Operand::Imm(2));
+            let abase = b.iadd(aoff.into(), Operand::Imm(bufs::B as u32));
+            let ax = b.ld_global(abase, 0);
+            // Uniform charge and cutoff normalization: scalar ALU + SFU.
+            let aq = b.fmul(ax.into(), Operand::imm_f32(0.125));
+            let cnorm = b.rsqrt(cutoff2.into());
+            // Per-thread distance.
+            let dx = b.fsub(x.into(), ax.into());
+            let r2 = b.fmul(dx.into(), dx.into());
+            let p = b.fsetp(CmpOp::Lt, r2.into(), cutoff2.into());
+            b.if_then(p.into(), |b| {
+                let s = b.rsqrt(r2.into());
+                // Uniform charge scaling: divergent-scalar.
+                let q2 = b.fmul(aq.into(), cnorm.into());
+                let q3 = b.fadd(q2.into(), Operand::imm_f32(0.01));
+                let e = b.fmul(s.into(), q3.into());
+                b.fadd_to(acc, acc.into(), e.into());
+            });
+            b.iadd_to(a, a.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, acc, 0);
+    b.exit();
+    let kernel = b.build().expect("cutcp kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, 0.0, 8.0, 0xCC));
+    mem.write_f32_slice(bufs::B, &gen::f32_uniform(atoms as usize, 0.5, 7.5, 0xCD));
+    mem.write_u32(bufs::PARAMS, atoms);
+    mem.write_f32(bufs::PARAMS + 4, 4.0);
+    Workload::new("cutcp", "CC", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `lbm` (LBM): lattice-Boltzmann collision — memory-dominated (eight
+/// distribution loads and stores) with a fluid/obstacle branch whose
+/// relaxation-constant chain is the paper's flagship divergent-scalar
+/// case (~30% divergent-scalar, Section 5.2).
+#[must_use]
+pub fn lbm(scale: Scale) -> Workload {
+    let ctas = scale.pick(48, 3);
+    let block = 192;
+    let mut b = KernelBuilder::new("lbm");
+    let gid = global_tid(&mut b);
+    let faddr = elem_addr(&mut b, bufs::A, gid);
+    let flag_addr = elem_addr(&mut b, bufs::C, gid);
+    let flag = b.ld_global(flag_addr, 0);
+    let omega = load_param(&mut b, 0);
+    let stride = 4 * 8192i32; // distribution-plane stride in bytes
+    // Load 6 distribution planes (stand-ins for the 19 of D3Q19).
+    let f0 = b.ld_global(faddr, 0);
+    let f1 = b.ld_global(faddr, stride);
+    let f2 = b.ld_global(faddr, 2 * stride);
+    let f3 = b.ld_global(faddr, 3 * stride);
+    let f4 = b.ld_global(faddr, 4 * stride);
+    let f5 = b.ld_global(faddr, 5 * stride);
+    let r1 = b.fadd(f0.into(), f1.into());
+    let r2 = b.fadd(f2.into(), f3.into());
+    let r3 = b.fadd(f4.into(), f5.into());
+    let r12 = b.fadd(r1.into(), r2.into());
+    let rho = b.fadd(r12.into(), r3.into());
+    let p = b.isetp(CmpOp::Eq, flag.into(), Operand::Imm(0));
+    b.if_else(
+        p.into(),
+        |b| {
+            // Fluid collision: relaxation-constant chain on the uniform
+            // omega — divergent-scalar in straddling warps.
+            let c1 = b.fmul(omega.into(), Operand::imm_f32(1.85));
+            let c2 = b.fadd(c1.into(), Operand::imm_f32(0.1));
+            let c3 = b.fmul(c2.into(), Operand::imm_f32(0.25));
+            let c4 = b.fadd(c3.into(), Operand::imm_f32(0.01));
+            let c5 = b.fmul(c4.into(), c2.into());
+            let c6 = b.fadd(c5.into(), c1.into());
+            let c7 = b.fmul(c6.into(), Operand::imm_f32(0.5));
+            let c8 = b.fadd(c7.into(), Operand::imm_f32(0.02));
+            let c9 = b.fmul(c8.into(), c3.into());
+            let c10 = b.fadd(c9.into(), c4.into());
+            let c11 = b.fmul(c10.into(), Operand::imm_f32(0.3));
+            let cr = b.rcp(c11.into());
+            let c5 = b.fadd(cr.into(), c5.into());
+            // Vector relaxation toward equilibrium.
+            let eq = b.fmul(rho.into(), c5.into());
+            let d0 = b.fsub(eq.into(), f0.into());
+            b.ffma_to(f0, d0.into(), omega.into(), f0.into());
+            let d1 = b.fsub(eq.into(), f1.into());
+            b.ffma_to(f1, d1.into(), omega.into(), f1.into());
+            let d2 = b.fsub(eq.into(), f2.into());
+            b.ffma_to(f2, d2.into(), omega.into(), f2.into());
+            let d3 = b.fsub(eq.into(), f3.into());
+            b.ffma_to(f3, d3.into(), omega.into(), f3.into());
+        },
+        |b| {
+            // Obstacle: bounce-back swaps plus uniform bookkeeping.
+            let t0 = b.mov(f0.into());
+            b.mov_to(f0, f1.into());
+            b.mov_to(f1, t0.into());
+            let t2 = b.mov(f2.into());
+            b.mov_to(f2, f3.into());
+            b.mov_to(f3, t2.into());
+            let w1 = b.fadd(omega.into(), Operand::imm_f32(0.3));
+            let w2 = b.fmul(w1.into(), Operand::imm_f32(0.9));
+            let w3 = b.fadd(w2.into(), Operand::imm_f32(0.05));
+            let w4 = b.fmul(w3.into(), w1.into());
+            let w5 = b.fadd(w4.into(), w2.into());
+            let _w6 = b.fmul(w5.into(), Operand::imm_f32(0.7));
+        },
+    );
+    let oaddr = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(oaddr, f0, 0);
+    b.st_global(oaddr, f1, stride);
+    b.st_global(oaddr, f2, 2 * stride);
+    b.st_global(oaddr, f3, 3 * stride);
+    b.st_global(oaddr, f4, 4 * stride);
+    b.st_global(oaddr, f5, 5 * stride);
+    b.exit();
+    let kernel = b.build().expect("lbm kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    for plane in 0..6u64 {
+        mem.write_f32_slice(
+            bufs::A + plane * 4 * 8192,
+            &gen::f32_uniform(n_threads, 0.05, 0.15, 0x7B + plane),
+        );
+    }
+    // Alternating 24-cell runs: every warp straddles a fluid/obstacle
+    // boundary and runs both collision paths divergently.
+    mem.write_u32_slice(bufs::C, &gen::alternating_flags(n_threads, 24));
+    mem.write_f32(bufs::PARAMS, 1.85);
+    Workload::new("lbm", "LBM", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `mri-grid` (MG): gridding scatter — sample coordinates map to grid
+/// cells through small-integer index arithmetic (the 3-/2-byte-heavy
+/// register mix of Figure 8), with few scalar registers.
+#[must_use]
+pub fn mri_grid(scale: Scale) -> Workload {
+    let ctas = scale.pick(52, 3);
+    let block = 192;
+    let neighbors = scale.pick(6, 2);
+    let mut b = KernelBuilder::new("mri-grid");
+    let gid = global_tid(&mut b);
+    let saddr = elem_addr(&mut b, bufs::A, gid);
+    let x = b.ld_global(saddr, 0);
+    let scalef = load_param(&mut b, 0);
+    // Grid cell index: per-thread small integer.
+    let xf = b.fmul(x.into(), scalef.into());
+    let cell = b.f2i(xf.into());
+    let c4 = b.shl(cell.into(), Operand::Imm(2));
+    let nn = load_param(&mut b, 1);
+    let g = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, g.into(), nn.into()).into(),
+        |b| {
+            let woff = b.imad(gid.into(), nn.into(), g.into());
+            let waddr = elem_addr(b, bufs::B, woff);
+            let w = b.ld_global(waddr, 0);
+            // Scatter target: small-int address math. The cell index
+            // perturbs a per-thread slot so deposits never collide
+            // (the real code uses atomics; collision-free slots keep
+            // the simulation deterministic for differential testing).
+            let slot = b.shl(gid.into(), Operand::Imm(3));
+            let goff = b.shl(g.into(), Operand::Imm(2));
+            let cmix = b.and(c4.into(), Operand::Imm(3));
+            let tg = b.iadd(goff.into(), cmix.into());
+            let tgt = b.iadd(slot.into(), tg.into());
+            let taddr = b.iadd(tgt.into(), Operand::Imm(bufs::OUT as u32));
+            // Deposit only significant weights: per-lane divergence.
+            let pw = b.fsetp(CmpOp::Gt, w.into(), Operand::imm_f32(0.35));
+            b.if_then(pw.into(), |b| {
+                let old = b.ld_global(taddr, 0);
+                let upd = b.fadd(old.into(), w.into());
+                b.st_global(taddr, upd, 0);
+            });
+            b.iadd_to(g, g.into(), Operand::Imm(1));
+        },
+    );
+    b.exit();
+    let kernel = b.build().expect("mri-grid kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, 0.0, 1000.0, 0x36));
+    mem.write_f32_slice(
+        bufs::B,
+        &gen::f32_uniform(n_threads * neighbors as usize, 0.0, 1.0, 0x37),
+    );
+    mem.write_f32(bufs::PARAMS, 4.0);
+    mem.write_u32(bufs::PARAMS + 4, neighbors);
+    Workload::new("mri-grid", "MG", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `mri-q` (MQ): Q-matrix computation — non-divergent, with warp-uniform
+/// k-space sample loads (scalar memory) feeding per-thread sin/cos SFU
+/// work.
+#[must_use]
+pub fn mri_q(scale: Scale) -> Workload {
+    let ctas = scale.pick(52, 3);
+    let block = 192;
+    let ksamples = scale.pick(10, 3);
+    let mut b = KernelBuilder::new("mri-q");
+    let gid = global_tid(&mut b);
+    let xaddr = elem_addr(&mut b, bufs::A, gid);
+    let x = b.ld_global(xaddr, 0);
+    let nk = load_param(&mut b, 0);
+    // Per-coil (32-thread group) phase offset.
+    let phase = warp_group_param(&mut b, bufs::PARAMS + 0x1000, 8);
+    let qr = b.mov_f32(0.0);
+    let qi = b.mov_f32(0.0);
+    let k = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, k.into(), nk.into()).into(),
+        |b| {
+            // k-space sample: scalar load + scalar magnitude math.
+                let koff = b.shl(k.into(), Operand::Imm(2));
+            let kaddr = b.iadd(koff.into(), Operand::Imm(bufs::B as u32));
+            let kx = b.ld_global(kaddr, 0);
+            let m2 = b.fmul(kx.into(), kx.into());
+            let norm = b.rcp(m2.into());
+            let ph = b.fadd(phase.into(), norm.into());
+            let m3 = b.fmul(ph.into(), Operand::imm_f32(0.5));
+            // Per-thread phase.
+            let arg = b.fmul(kx.into(), x.into());
+            let s = b.sin(arg.into());
+            let c = b.cos(arg.into());
+            b.ffma_to(qr, c.into(), m3.into(), qr.into());
+            b.ffma_to(qi, s.into(), m3.into(), qi.into());
+            b.iadd_to(k, k.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, qr, 0);
+    let out2 = elem_addr(&mut b, bufs::OUT2, gid);
+    b.st_global(out2, qi, 0);
+    b.exit();
+    let kernel = b.build().expect("mri-q kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, -1.0, 1.0, 0x91));
+    mem.write_f32_slice(
+        bufs::B,
+        &gen::f32_uniform(2 * ksamples as usize, 0.1, 2.0, 0x92),
+    );
+    mem.write_u32(bufs::PARAMS, ksamples);
+    mem.write_f32_slice(
+        bufs::PARAMS + 0x1000,
+        &gen::f32_uniform(8 * ctas as usize, 0.0, 0.2, 0x93),
+    );
+    Workload::new("mri-q", "MQ", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `sad` (SAD): sum-of-absolute-differences block matching — uniform
+/// search-position loops around per-pixel vector work, with a
+/// divergent best-candidate update whose bookkeeping is scalar
+/// (19% divergent-scalar, Section 5.2).
+#[must_use]
+pub fn sad(scale: Scale) -> Workload {
+    let ctas = scale.pick(48, 3);
+    let block = 192;
+    let positions = scale.pick(12, 3);
+    let mut b = KernelBuilder::new("sad");
+    let gid = global_tid(&mut b);
+    let faddr = elem_addr(&mut b, bufs::A, gid);
+    let cur = b.ld_global(faddr, 0);
+    let npos = load_param(&mut b, 0);
+    // Per-macroblock (32-thread group) search bias.
+    let bias = warp_group_param(&mut b, bufs::PARAMS + 0x1000, 8);
+    let best = b.mov(Operand::Imm(0x7FFF_FFFF));
+    let bestpos = b.mov(Operand::Imm(0));
+    let pos = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, pos.into(), npos.into()).into(),
+        |b| {
+            // Reference pixel at this search position.
+            let ridx = b.iadd(gid.into(), pos.into());
+            let raddr = elem_addr(b, bufs::B, ridx);
+            let refv = b.ld_global(raddr, 0);
+            let d = b.isub(cur.into(), refv.into());
+            let bb = b.iadd(bias.into(), Operand::Imm(1));
+            let b2 = b.shr(bb.into(), Operand::Imm(1));
+            let ad0 = b.iabs(d.into());
+            let ad = b.iadd(ad0.into(), b2.into());
+            let p = b.isetp(CmpOp::Lt, ad.into(), best.into());
+            b.if_then(p.into(), |b| {
+                b.mov_to(best, ad.into());
+                // Candidate bookkeeping on the uniform position:
+                // divergent-scalar.
+                b.mov_to(bestpos, pos.into());
+                let biased = b.iadd(pos.into(), Operand::Imm(3));
+                let _scaled = b.shl(biased.into(), Operand::Imm(1));
+            });
+            b.iadd_to(pos, pos.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, bestpos, 0);
+    b.exit();
+    let kernel = b.build().expect("sad kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_u32_slice(bufs::A, &gen::small_ints(n_threads, 256, 0x5A));
+    mem.write_u32_slice(
+        bufs::B,
+        &gen::small_ints(n_threads + positions as usize, 256, 0x5B),
+    );
+    mem.write_u32(bufs::PARAMS, positions);
+    mem.write_u32_slice(
+        bufs::PARAMS + 0x1000,
+        &gen::small_ints(8 * ctas as usize, 16, 0x5C),
+    );
+    Workload::new("sad", "SAD", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `sgemm` (MM): tiled matrix multiply through shared memory — fully
+/// non-divergent, loop bookkeeping and tile offsets scalar, the
+/// half-warp-uniform tile row (`tid >> 4`) feeding half-scalar address
+/// math.
+#[must_use]
+pub fn sgemm(scale: Scale) -> Workload {
+    let ctas = scale.pick(48, 3);
+    let block: u32 = 256;
+    let tiles = scale.pick(6, 2);
+    let tile: u32 = 16;
+    let mut b = KernelBuilder::new("sgemm");
+    b.shared_mem(2 * tile * tile * 4);
+    let gid = global_tid(&mut b);
+    let tid = b.s2r(SReg::TidX);
+    let tx = b.and(tid.into(), Operand::Imm(tile - 1));
+    let ty = b.shr(tid.into(), Operand::Imm(4)); // half-warp uniform
+    let ntiles = load_param(&mut b, 0);
+    let width = load_param(&mut b, 1);
+    let acc = b.mov_f32(0.0);
+    let kt = b.mov(Operand::Imm(0));
+    // Shared-memory byte offsets for this thread's tile slots.
+    let tyrow = b.shl(ty.into(), Operand::Imm(4)); // ty*16 — half-scalar
+    let slot = b.iadd(tyrow.into(), tx.into());
+    let soff = b.shl(slot.into(), Operand::Imm(2));
+    let bbase = b.iadd(soff.into(), Operand::Imm(tile * tile * 4));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, kt.into(), ntiles.into()).into(),
+        |b| {
+            // Global tile loads (A row-major, B column tile).
+            let koff = b.imul(kt.into(), Operand::Imm(tile));
+            let arow = b.imad(ty.into(), width.into(), koff.into()); // half-scalar-ish
+            let aidx = b.iadd(arow.into(), tx.into());
+            let gaddr = elem_addr(b, bufs::A, aidx);
+            let av = b.ld_global(gaddr, 0);
+            let bidx = b.iadd(aidx.into(), gid.into());
+            let baddr = elem_addr(b, bufs::B, bidx);
+            let bv = b.ld_global(baddr, 0);
+            b.st_shared(soff, av, 0);
+            b.st_shared(bbase, bv, 0);
+            b.bar();
+            // Inner product over the tile; the A-tile address walks a
+            // half-warp-uniform register.
+            let kk = b.mov(Operand::Imm(0));
+            let aor = b.shl(tyrow.into(), Operand::Imm(2));
+            b.while_loop(
+                |b| b.isetp(CmpOp::Lt, kk.into(), Operand::Imm(tile)).into(),
+                |b| {
+                    let a = b.ld_shared(aor, 0);
+                    b.iadd_to(aor, aor.into(), Operand::Imm(4));
+                    let bi = b.shl(kk.into(), Operand::Imm(4));
+                    let bj = b.iadd(bi.into(), tx.into());
+                    let bo = b.shl(bj.into(), Operand::Imm(2));
+                    let bb = b.ld_shared(bo, tile as i32 * tile as i32 * 4);
+                    b.ffma_to(acc, a.into(), bb.into(), acc.into());
+                    b.iadd_to(kk, kk.into(), Operand::Imm(1));
+                },
+            );
+            b.bar();
+            b.iadd_to(kt, kt.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, acc, 0);
+    b.exit();
+    let kernel = b.build().expect("sgemm kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(
+        bufs::A,
+        &gen::f32_uniform(n_threads + 1024, 0.1, 1.0, 0x71),
+    );
+    mem.write_f32_slice(
+        bufs::B,
+        &gen::f32_uniform(2 * n_threads + 1024, 0.1, 1.0, 0x72),
+    );
+    mem.write_u32(bufs::PARAMS, tiles);
+    mem.write_u32(bufs::PARAMS + 4, 64);
+    Workload::new("sgemm", "MM", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `spmv` (MV): CSR sparse matrix-vector product — per-row loops with
+/// occasional long rows (tail divergence), column-index gathers that
+/// keep registers in the 3-/2-byte similarity classes, and few scalars.
+#[must_use]
+pub fn spmv(scale: Scale) -> Workload {
+    let ctas = scale.pick(48, 3);
+    let block = 192;
+    let base_nnz = scale.pick(8, 3);
+    let mut b = KernelBuilder::new("spmv");
+    let gid = global_tid(&mut b);
+    // Row extent: start = gid * max_nnz; length varies per row.
+    let laddr = elem_addr(&mut b, bufs::C, gid);
+    let len = b.ld_global(laddr, 0);
+    let maxnnz = load_param(&mut b, 0);
+    // Per-row-group scaling factor (warp-uniform at warp size 32).
+    let scale = warp_group_param(&mut b, bufs::PARAMS + 0x1000, 8);
+    let start = b.imul(gid.into(), maxnnz.into());
+    let end = b.iadd(start.into(), len.into());
+    let acc = b.mov_f32(0.0);
+    let sacc = b.mov_f32(0.0);
+    let j = b.mov(Operand::Imm(0));
+    b.mov_to(j, start.into());
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, j.into(), end.into()).into(),
+        |b| {
+            let caddr = elem_addr(b, bufs::A, j);
+            let col = b.ld_global(caddr, 0);
+            let vaddr = elem_addr(b, bufs::B, j);
+            let v = b.ld_global(vaddr, 0);
+            let xaddr = elem_addr(b, bufs::OUT2, col);
+            let xv = b.ld_global(xaddr, 0);
+            b.ffma_to(acc, v.into(), xv.into(), acc.into());
+            // Row-group normalization chain (operates on `scale` only).
+            let s1 = b.fmul(scale.into(), Operand::imm_f32(1.0 / 64.0));
+            b.fadd_to(sacc, sacc.into(), s1.into());
+            b.iadd_to(j, j.into(), Operand::Imm(1));
+        },
+    );
+    b.fadd_to(acc, acc.into(), sacc.into());
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, acc, 0);
+    b.exit();
+    let kernel = b.build().expect("spmv kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let max_nnz = base_nnz * 2;
+    let mut mem = GlobalMemory::new();
+    mem.write_u32_slice(
+        bufs::C,
+        &gen::warp_uniform_trips(n_threads, base_nnz, base_nnz, 0x3C),
+    );
+    mem.write_u32_slice(
+        bufs::A,
+        &gen::small_ints(n_threads * max_nnz as usize, 4096, 0x3D),
+    );
+    mem.write_f32_slice(
+        bufs::B,
+        &gen::f32_uniform(n_threads * max_nnz as usize, 0.1, 1.0, 0x3E),
+    );
+    mem.write_f32_slice(bufs::OUT2, &gen::f32_uniform(4096, 0.1, 1.0, 0x3F));
+    mem.write_f32_slice(
+        bufs::PARAMS + 0x1000,
+        &gen::f32_uniform(8 * ctas as usize, 0.5, 1.5, 0x40),
+    );
+    mem.write_u32(bufs::PARAMS, max_nnz);
+    Workload::new("spmv", "MV", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `stencil` (ST): 7-point 3-D stencil — non-divergent, uniform
+/// coefficients, perfectly coalesced neighbor loads.
+#[must_use]
+pub fn stencil(scale: Scale) -> Workload {
+    let ctas = scale.pick(56, 3);
+    let block = 256;
+    let width: i32 = 64;
+    let plane: i32 = 64 * 64;
+    let mut b = KernelBuilder::new("stencil");
+    let gid = global_tid(&mut b);
+    let caddr = elem_addr(&mut b, bufs::A, gid);
+    let c = b.ld_global(caddr, 0);
+    let xm = b.ld_global(caddr, -4);
+    let xp = b.ld_global(caddr, 4);
+    let ym = b.ld_global(caddr, -4 * width);
+    let yp = b.ld_global(caddr, 4 * width);
+    let zm = b.ld_global(caddr, -4 * plane);
+    let zp = b.ld_global(caddr, 4 * plane);
+    let c0 = load_param(&mut b, 0);
+    let c1 = load_param(&mut b, 1);
+    // Uniform coefficient prep: scalar ALU.
+    let cn = b.rsqrt(c0.into());
+    let c0h = b.fmul(cn.into(), Operand::imm_f32(0.5));
+    let c1h = b.fmul(c1.into(), Operand::imm_f32(0.1666));
+    let s1 = b.fadd(xm.into(), xp.into());
+    let s2 = b.fadd(ym.into(), yp.into());
+    let s3 = b.fadd(zm.into(), zp.into());
+    let s12 = b.fadd(s1.into(), s2.into());
+    let nsum = b.fadd(s12.into(), s3.into());
+    let t1 = b.fmul(c.into(), c0h.into());
+    let r = b.ffma(nsum.into(), c1h.into(), t1.into());
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, r, 0);
+    b.exit();
+    let kernel = b.build().expect("stencil kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(
+        bufs::A,
+        &gen::f32_uniform(n_threads + plane as usize, 1.0, 2.0, 0x57),
+    );
+    mem.write_f32(bufs::PARAMS, 0.6);
+    mem.write_f32(bufs::PARAMS + 4, 0.4);
+    Workload::new("stencil", "ST", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `tpacf` (ACF): two-point angular correlation — per-thread dot
+/// products binned against warp-uniform bin boundaries (scalar loads
+/// and compares) with a divergent histogram update.
+#[must_use]
+pub fn tpacf(scale: Scale) -> Workload {
+    let ctas = scale.pick(48, 3);
+    let block = 192;
+    let samples = scale.pick(12, 3);
+    let mut b = KernelBuilder::new("tpacf");
+    let gid = global_tid(&mut b);
+    let daddr = elem_addr(&mut b, bufs::A, gid);
+    let d = b.ld_global(daddr, 0);
+    let ns = load_param(&mut b, 0);
+    let hist = b.mov(Operand::Imm(0));
+    let jj = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, jj.into(), ns.into()).into(),
+        |b| {
+            // Random-catalog sample: scalar load.
+            let roff = b.shl(jj.into(), Operand::Imm(2));
+            let raddr = b.iadd(roff.into(), Operand::Imm(bufs::B as u32));
+            let r = b.ld_global(raddr, 0);
+            let dot = b.fmul(d.into(), r.into());
+            // Bin boundary: scalar load + scalar threshold math.
+            let bt = b.ld_global(raddr, 4096);
+            let btl = b.lg2(bt.into());
+            let bt2 = b.ffma(btl.into(), Operand::imm_f32(0.01), bt.into());
+            let p = b.fsetp(CmpOp::Lt, dot.into(), bt2.into());
+            b.if_then(p.into(), |b| {
+                // Divergent histogram bookkeeping: the bin index chain
+                // on uniform data is divergent-scalar.
+                let bin = b.iadd(jj.into(), Operand::Imm(1));
+                let _sc = b.shl(bin.into(), Operand::Imm(1));
+                b.iadd_to(hist, hist.into(), Operand::Imm(1));
+            });
+            b.iadd_to(jj, jj.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, hist, 0);
+    b.exit();
+    let kernel = b.build().expect("tpacf kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, 0.0, 1.0, 0xAC));
+    mem.write_f32_slice(bufs::B, &gen::f32_uniform(samples as usize, 0.0, 1.0, 0xAD));
+    mem.write_f32_slice(
+        bufs::B + 4096,
+        &gen::f32_uniform(samples as usize, 0.3, 0.8, 0xAE),
+    );
+    mem.write_u32(bufs::PARAMS, samples);
+    Workload::new("tpacf", "ACF", kernel, LaunchConfig::linear(ctas, block), mem)
+}

@@ -1,0 +1,469 @@
+//! Synthetic Rodinia-suite kernels (Table 2, left column).
+//!
+//! Each kernel reproduces the *value structure* of the real CUDA
+//! benchmark's inner loop — warp-uniform parameters, divergence
+//! patterns, SFU usage — which is what drives every G-Scalar result.
+
+use gscalar_core::Workload;
+use gscalar_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, SReg};
+use gscalar_sim::memory::GlobalMemory;
+
+use crate::gen::{self, bufs};
+use crate::util::{elem_addr, global_tid, load_param, Scale};
+
+/// `b+tree` (BT): warp-uniform tree traversal. The search key and node
+/// pointer chain are scalar; per-thread work probes the node's fan-out
+/// slots. Divergence is rare (leaf-level compare hits).
+#[must_use]
+pub fn btree(scale: Scale) -> Workload {
+    let ctas = scale.pick(60, 3);
+    let block = 192;
+    let levels = scale.pick(24, 6);
+    let mut b = KernelBuilder::new("b+tree");
+    let gid = global_tid(&mut b);
+    let tid = b.s2r(SReg::TidX);
+    let ctaid = b.s2r(SReg::CtaIdX);
+    // All threads of the CTA load the same search key: scalar memory.
+    let kaddr = elem_addr(&mut b, bufs::B, ctaid);
+    let key = b.ld_global(kaddr, 0);
+    let levels_r = load_param(&mut b, 0);
+    let node = b.mov(Operand::Imm(0));
+    let hits = b.mov(Operand::Imm(0));
+    let lvl = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, lvl.into(), levels_r.into()).into(),
+        |b| {
+            // Per-thread probe of one fan-out slot.
+            let slot = b.and(tid.into(), Operand::Imm(15));
+            let base = b.shl(node.into(), Operand::Imm(4));
+            let idx = b.iadd(base.into(), slot.into());
+            let addr = elem_addr(b, bufs::A, idx);
+            let k = b.ld_global(addr, 0);
+            let p = b.isetp(CmpOp::Le, k.into(), key.into());
+            // Rare divergent bookkeeping on the compare outcome.
+            b.if_then(p.into(), |b| {
+                b.iadd_to(hits, hits.into(), Operand::Imm(1));
+                let _mark = b.or(hits.into(), Operand::Imm(0x100));
+            });
+            // Warp-uniform descent: next node from the key nibble.
+            let nib = b.and(key.into(), Operand::Imm(15));
+            let scaled = b.shl(node.into(), Operand::Imm(4));
+            let nn = b.iadd(scaled.into(), nib.into());
+            b.iadd_to(node, nn.into(), Operand::Imm(1));
+            b.alu_to(
+                gscalar_isa::AluOp::Shr,
+                key,
+                key.into(),
+                Operand::Imm(2),
+                gscalar_isa::Reg::RZ.into(),
+            );
+            b.iadd_to(lvl, lvl.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, hits, 0);
+    b.exit();
+    let kernel = b.build().expect("btree kernel is valid");
+
+    let n = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_u32_slice(bufs::A, &gen::small_ints(4096, 1 << 20, 0xB7));
+    mem.write_u32_slice(bufs::B, &gen::small_ints(ctas as usize, 1 << 20, 0xB8));
+    mem.write_u32(bufs::PARAMS, levels);
+    let _ = n;
+    Workload::new("b+tree", "BT", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `backprop` (BP): the paper's star benchmark — each thread computes
+/// `2^n` via the SFU with a warp-uniform exponent (Section 5.3), plus
+/// half-warp-uniform momentum terms (12% half-scalar in Figure 9).
+#[must_use]
+pub fn backprop(scale: Scale) -> Workload {
+    let ctas = scale.pick(56, 3);
+    let block = 256;
+    let iters = scale.pick(14, 4);
+    let mut b = KernelBuilder::new("backprop");
+    let gid = global_tid(&mut b);
+    let tid = b.s2r(SReg::TidX);
+    // Half-warp-uniform value: tid >> 4 is constant per 16-lane chunk.
+    let half = b.shr(tid.into(), Operand::Imm(4));
+    let halff = b.i2f(half.into());
+    let waddr = elem_addr(&mut b, bufs::A, gid);
+    let w = b.ld_global(waddr, 0);
+    let n = load_param(&mut b, 0);
+    let eta = load_param(&mut b, 1);
+    let acc = b.mov_f32(0.0);
+    let i = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, i.into(), n.into()).into(),
+        |b| {
+            // 2^i on the SFU with a warp-uniform argument: SFU scalar.
+            let fi = b.i2f(i.into());
+            let pw = b.ex2(fi.into());
+            let pw1 = b.fadd(pw.into(), Operand::imm_f32(1.0));
+            let sg = b.rcp(pw1.into());
+            // Half-warp-uniform momentum term: a half-scalar ALU op.
+            let hstep = b.fmul(halff.into(), Operand::imm_f32(0.01));
+            // Per-thread weighted sum.
+            let t = b.fmul(w.into(), eta.into());
+            b.ffma_to(acc, t.into(), sg.into(), acc.into());
+            b.fadd_to(acc, acc.into(), hstep.into());
+            b.iadd_to(i, i.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, acc, 0);
+    b.exit();
+    let kernel = b.build().expect("backprop kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, 0.1, 0.9, 0xBB));
+    mem.write_u32(bufs::PARAMS, iters);
+    mem.write_f32(bufs::PARAMS + 4, 0.3);
+    Workload::new("backprop", "BP", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `heartwall` (HW): data-dependent per-thread search loops make ~half
+/// of all instructions divergent (Section 4.2 cites ~50%); the loop
+/// body mixes vector tracking math with uniform-coefficient updates
+/// that become divergent-scalar work.
+#[must_use]
+pub fn heartwall(scale: Scale) -> Workload {
+    let ctas = scale.pick(52, 3);
+    let block = 192;
+    let base_trips = scale.pick(6, 2);
+    let mut b = KernelBuilder::new("heartwall");
+    let gid = global_tid(&mut b);
+    let vaddr = elem_addr(&mut b, bufs::A, gid);
+    let v = b.ld_global(vaddr, 0);
+    let naddr = elem_addr(&mut b, bufs::B, gid);
+    let n = b.ld_global(naddr, 0);
+    let coeff = load_param(&mut b, 0);
+    let best = b.mov_f32(-1.0e30);
+    let i = b.mov(Operand::Imm(0));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, i.into(), n.into()).into(),
+        |b| {
+            // Uniform-coefficient chain: divergent-scalar once lanes
+            // with small trip counts retire.
+            let u = b.fadd(coeff.into(), Operand::imm_f32(0.125));
+            let u2 = b.fmul(u.into(), Operand::imm_f32(0.5));
+            let u3 = b.fadd(u2.into(), coeff.into());
+            let us = b.sqrt(u3.into());
+            let u4 = b.fadd(us.into(), u.into());
+            // Per-thread template correlation.
+            let t = b.fmul(v.into(), u4.into());
+            let s = b.fadd(t.into(), v.into());
+            b.alu_to(
+                gscalar_isa::AluOp::FMax,
+                best,
+                best.into(),
+                s.into(),
+                gscalar_isa::Reg::RZ.into(),
+            );
+            b.iadd_to(i, i.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, best, 0);
+    b.exit();
+    let kernel = b.build().expect("heartwall kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, 0.2, 0.8, 0x48));
+    mem.write_u32_slice(
+        bufs::B,
+        &gen::trip_counts(n_threads, base_trips, 2 * base_trips, 2, 0x4A),
+    );
+    mem.write_f32(bufs::PARAMS, 0.75);
+    Workload::new("heartwall", "HW", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `hotspot` (HS): a 2-D thermal stencil whose row-edge lanes skip the
+/// interior update — warps covering an image edge run the body
+/// divergently, and the body's ambient-coefficient chain is
+/// divergent-scalar (17% in Figure 9).
+#[must_use]
+pub fn hotspot(scale: Scale) -> Workload {
+    let ctas = scale.pick(60, 3);
+    let block = 256;
+    let width: u32 = 64;
+    let mut b = KernelBuilder::new("hotspot");
+    let gid = global_tid(&mut b);
+    let col = b.and(gid.into(), Operand::Imm(width - 1));
+    let caddr = elem_addr(&mut b, bufs::A, gid);
+    let center = b.ld_global(caddr, 0);
+    let amb = load_param(&mut b, 0);
+    let step = load_param(&mut b, 1);
+    let result = b.mov(Operand::Imm(0));
+    b.mov_to(result, center.into());
+    // Interior test: the left-edge lane (col == 0) skips the update, so
+    // every other warp runs the body divergently with one lane masked.
+    let p_lo = b.isetp(CmpOp::Gt, col.into(), Operand::Imm(0));
+    b.if_then(p_lo.into(), |b| {
+        // Neighbor loads.
+        let left = b.ld_global(caddr, -4);
+        let right = b.ld_global(caddr, 4);
+        let up = b.ld_global(caddr, -(4 * width as i32));
+        let down = b.ld_global(caddr, 4 * width as i32);
+        // Uniform coefficient chain (divergent-scalar on edge warps).
+        let k1 = b.fmul(amb.into(), Operand::imm_f32(0.5));
+        let k2 = b.fadd(k1.into(), step.into());
+        let k3 = b.fmul(k2.into(), Operand::imm_f32(0.25));
+        let k4 = b.fadd(k3.into(), Operand::imm_f32(1.0e-3));
+        let k5 = b.fmul(k4.into(), step.into());
+        let k6 = b.fadd(k5.into(), k1.into());
+        let k7 = b.fmul(k6.into(), Operand::imm_f32(0.5));
+        let k8 = b.fadd(k7.into(), k2.into());
+        // Vector stencil math.
+        let h = b.fadd(left.into(), right.into());
+        let v = b.fadd(up.into(), down.into());
+        let sum = b.fadd(h.into(), v.into());
+        let c4 = b.fmul(center.into(), Operand::imm_f32(4.0));
+        let delta = b.fsub(sum.into(), c4.into());
+        let upd = b.ffma(delta.into(), k8.into(), center.into());
+        b.mov_to(result, upd.into());
+    });
+    // Right-edge bookkeeping: the other warp of each row diverges here.
+    let p_hi = b.isetp(CmpOp::Eq, col.into(), Operand::Imm(width - 1));
+    b.if_then(p_hi.into(), |b| {
+        let e1 = b.fmul(amb.into(), Operand::imm_f32(0.9));
+        let e2 = b.fadd(e1.into(), step.into());
+        b.mov_to(result, e2.into());
+    });
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, result, 0);
+    b.exit();
+    let kernel = b.build().expect("hotspot kernel is valid");
+
+    let n_threads = (ctas * block) as usize + 2 * width as usize;
+    let mut mem = GlobalMemory::new();
+    // Guard rows above/below so up/down loads stay in-bounds data.
+    mem.write_f32_slice(
+        bufs::A,
+        &gen::f32_uniform(n_threads + width as usize, 20.0, 90.0, 0x45),
+    );
+    mem.write_f32(bufs::PARAMS, 80.0);
+    mem.write_f32(bufs::PARAMS + 4, 0.05);
+    Workload::new("hotspot", "HS", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `leukocyte` (LC): few resident warps plus long-latency integer
+/// division in the GICOV loop — the paper's most latency-sensitive
+/// benchmark (worst IPC loss from the +3-cycle pipeline, Section 5.4).
+#[must_use]
+pub fn leukocyte(scale: Scale) -> Workload {
+    let ctas = scale.pick(12, 2);
+    let block = 128;
+    let trips = scale.pick(24, 5);
+    let mut b = KernelBuilder::new("leukocyte");
+    let gid = global_tid(&mut b);
+    let vaddr = elem_addr(&mut b, bufs::A, gid);
+    let v = b.ld_global(vaddr, 0);
+    let d = load_param(&mut b, 0);
+    let acc = b.mov(Operand::Imm(0));
+    let x = b.mov(Operand::Imm(0));
+    b.mov_to(x, v.into());
+    let i = b.mov(Operand::Imm(0));
+    let trips_r = load_param(&mut b, 1);
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, i.into(), trips_r.into()).into(),
+        |b| {
+            // Long-latency integer division on per-thread data.
+            let q = b.idiv(x.into(), d.into());
+            let r = b.imad(q.into(), d.into(), Operand::Imm(1));
+            let f = b.i2f(r.into());
+            let s = b.sqrt(f.into());
+            let si = b.f2i(s.into());
+            let pr = b.isetp(CmpOp::Gt, si.into(), Operand::Imm(8));
+            b.if_then(pr.into(), |b| {
+                // Boundary refinement on the uniform divisor.
+                let dd = b.iadd(d.into(), Operand::Imm(1));
+                let d2 = b.shl(dd.into(), Operand::Imm(1));
+                b.iadd_to(acc, acc.into(), d2.into());
+            });
+            b.iadd_to(acc, acc.into(), si.into());
+            b.iadd_to(x, x.into(), Operand::Imm(3));
+            b.iadd_to(i, i.into(), Operand::Imm(1));
+        },
+    );
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, acc, 0);
+    b.exit();
+    let kernel = b.build().expect("leukocyte kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_u32_slice(bufs::A, &gen::small_ints(n_threads, 1 << 16, 0x7C));
+    mem.write_u32(bufs::PARAMS, 7);
+    mem.write_u32(bufs::PARAMS + 4, trips);
+    Workload::new("leukocyte", "LC", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `pathfinder` (PF): dynamic-programming row sweep through shared
+/// memory with CTA barriers each step; loop bookkeeping is scalar,
+/// the min-reduction is vector.
+#[must_use]
+pub fn pathfinder(scale: Scale) -> Workload {
+    let ctas = scale.pick(48, 3);
+    let block: u32 = 256;
+    let rows = scale.pick(16, 4);
+    let mut b = KernelBuilder::new("pathfinder");
+    b.shared_mem(block * 4);
+    let gid = global_tid(&mut b);
+    let tid = b.s2r(SReg::TidX);
+    let soff = b.shl(tid.into(), Operand::Imm(2));
+    let first = elem_addr(&mut b, bufs::A, gid);
+    let c0 = b.ld_global(first, 0);
+    b.st_shared(soff, c0, 0);
+    b.bar();
+    let width = load_param(&mut b, 0);
+    let rows_r = load_param(&mut b, 1);
+    let t = b.mov(Operand::Imm(1));
+    b.while_loop(
+        |b| b.isetp(CmpOp::Lt, t.into(), rows_r.into()).into(),
+        |b| {
+            // Clamped neighbor indices.
+            let lm = b.isub(tid.into(), Operand::Imm(1));
+            let lc = b.imax(lm.into(), Operand::Imm(0));
+            let rm = b.iadd(tid.into(), Operand::Imm(1));
+            let rc = b.imin(rm.into(), Operand::Imm(block - 1));
+            let loff = b.shl(lc.into(), Operand::Imm(2));
+            let roff = b.shl(rc.into(), Operand::Imm(2));
+            let l = b.ld_shared(loff, 0);
+            let m = b.ld_shared(soff, 0);
+            let r = b.ld_shared(roff, 0);
+            let mn1 = b.imin(l.into(), m.into());
+            let mn = b.imin(mn1.into(), r.into());
+            // Next row's cost: row offset is scalar arithmetic.
+            let rowoff = b.imul(t.into(), width.into());
+            let idx = b.iadd(rowoff.into(), gid.into());
+            let caddr = elem_addr(b, bufs::A, idx);
+            let c = b.ld_global(caddr, 0);
+            let cur = b.iadd(c.into(), mn.into());
+            // Occasional per-lane clamp: mild divergence.
+            let low = b.and(cur.into(), Operand::Imm(7));
+            let pc = b.isetp(CmpOp::Eq, low.into(), Operand::Imm(0));
+            b.if_then(pc.into(), |b| {
+                b.iadd_to(cur, cur.into(), Operand::Imm(1));
+            });
+            b.bar();
+            b.st_shared(soff, cur, 0);
+            b.bar();
+            b.iadd_to(t, t.into(), Operand::Imm(1));
+        },
+    );
+    let res = b.ld_shared(soff, 0);
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, res, 0);
+    b.exit();
+    let kernel = b.build().expect("pathfinder kernel is valid");
+
+    let n = (ctas * block * (rows + 1)) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_u32_slice(bufs::A, &gen::small_ints(n, 100, 0x9F));
+    mem.write_u32(bufs::PARAMS, ctas * block);
+    mem.write_u32(bufs::PARAMS + 4, rows);
+    Workload::new("pathfinder", "PF", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `srad_1` (SR1): diffusion-coefficient pass of SRAD — gradient math
+/// on per-pixel values, a uniform-parameter chain, and a clipping
+/// branch that diverges on a minority of lanes.
+#[must_use]
+pub fn srad_1(scale: Scale) -> Workload {
+    let ctas = scale.pick(56, 3);
+    let block = 256;
+    let width: u32 = 256;
+    let mut b = KernelBuilder::new("srad_1");
+    let gid = global_tid(&mut b);
+    let caddr = elem_addr(&mut b, bufs::A, gid);
+    let v = b.ld_global(caddr, 0);
+    let n = b.ld_global(caddr, -(4 * width as i32));
+    let s = b.ld_global(caddr, 4 * width as i32);
+    let e = b.ld_global(caddr, 4);
+    let w = b.ld_global(caddr, -4);
+    let dn = b.fsub(n.into(), v.into());
+    let ds = b.fsub(s.into(), v.into());
+    let de = b.fsub(e.into(), v.into());
+    let dw = b.fsub(w.into(), v.into());
+    let g1 = b.fmul(dn.into(), dn.into());
+    let g2 = b.ffma(ds.into(), ds.into(), g1.into());
+    let g3 = b.ffma(de.into(), de.into(), g2.into());
+    let g4 = b.ffma(dw.into(), dw.into(), g3.into());
+    // Uniform q0 chain: scalar ALU.
+    let lambda = load_param(&mut b, 0);
+    let q0 = load_param(&mut b, 1);
+    let l1 = b.fmul(lambda.into(), Operand::imm_f32(0.25));
+    let l2 = b.fadd(l1.into(), q0.into());
+    let l3 = b.fmul(l2.into(), l2.into());
+    // Uniform normalization: a scalar SFU op.
+    let ql = b.sqrt(l3.into());
+    let l4 = b.fadd(l3.into(), ql.into());
+    // Coefficient with an SFU reciprocal.
+    let denom = b.ffma(g4.into(), l4.into(), Operand::imm_f32(1.0));
+    let c = b.rcp(denom.into());
+    // Clip large coefficients: lanes split on the threshold.
+    let p = b.fsetp(CmpOp::Gt, c.into(), Operand::imm_f32(0.55));
+    b.if_then(p.into(), |b| {
+        let capped = b.fmul(ql.into(), Operand::imm_f32(0.9));
+        b.mov_to(c, capped.into());
+    });
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, c, 0);
+    b.exit();
+    let kernel = b.build().expect("srad_1 kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(
+        bufs::A,
+        &gen::f32_uniform(n_threads + 2 * width as usize, 0.5, 2.0, 0x51),
+    );
+    mem.write_f32(bufs::PARAMS, 0.5);
+    mem.write_f32(bufs::PARAMS + 4, 0.05);
+    Workload::new("srad_1", "SR1", kernel, LaunchConfig::linear(ctas, block), mem)
+}
+
+/// `srad_2` (SR2): the update pass — non-divergent FMA-dense stencil
+/// with uniform step parameters.
+#[must_use]
+pub fn srad_2(scale: Scale) -> Workload {
+    let ctas = scale.pick(56, 3);
+    let block = 256;
+    let width: u32 = 256;
+    let mut b = KernelBuilder::new("srad_2");
+    let gid = global_tid(&mut b);
+    let iaddr = elem_addr(&mut b, bufs::A, gid);
+    let img = b.ld_global(iaddr, 0);
+    let cadr = elem_addr(&mut b, bufs::B, gid);
+    let cc = b.ld_global(cadr, 0);
+    let cs = b.ld_global(cadr, 4 * width as i32);
+    let ce = b.ld_global(cadr, 4);
+    let lambda = load_param(&mut b, 0);
+    let li = b.rcp(lambda.into());
+    let l4 = b.fmul(li.into(), Operand::imm_f32(0.25));
+    let d1 = b.fadd(cs.into(), ce.into());
+    let d2 = b.ffma(cc.into(), Operand::imm_f32(2.0), d1.into());
+    let upd = b.ffma(d2.into(), l4.into(), img.into());
+    let sm = b.fmul(upd.into(), Operand::imm_f32(0.999));
+    let out = elem_addr(&mut b, bufs::OUT, gid);
+    b.st_global(out, sm, 0);
+    b.exit();
+    let kernel = b.build().expect("srad_2 kernel is valid");
+
+    let n_threads = (ctas * block) as usize;
+    let mut mem = GlobalMemory::new();
+    mem.write_f32_slice(
+        bufs::A,
+        &gen::f32_uniform(n_threads + width as usize, 0.5, 2.0, 0x52),
+    );
+    mem.write_f32_slice(
+        bufs::B,
+        &gen::f32_uniform(n_threads + width as usize, 0.0, 1.0, 0x53),
+    );
+    mem.write_f32(bufs::PARAMS, 0.5);
+    Workload::new("srad_2", "SR2", kernel, LaunchConfig::linear(ctas, block), mem)
+}

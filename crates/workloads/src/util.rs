@@ -1,0 +1,113 @@
+//! Shared kernel-building idioms used by every benchmark.
+
+use gscalar_isa::{KernelBuilder, Operand, Reg, SReg};
+
+/// Workload sizing: full size for the figure harness, reduced for unit
+/// tests (debug-build friendly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The sizes used by the benchmark harness.
+    Full,
+    /// Small grids and short loops for tests.
+    Test,
+}
+
+impl Scale {
+    /// Picks `(full, test)` by scale.
+    #[must_use]
+    pub fn pick(self, full: u32, test: u32) -> u32 {
+        match self {
+            Scale::Full => full,
+            Scale::Test => test,
+        }
+    }
+}
+
+/// Emits the canonical global-thread-id computation
+/// (`ctaid.x * ntid.x + tid.x`).
+pub fn global_tid(b: &mut KernelBuilder) -> Reg {
+    let tid = b.s2r(SReg::TidX);
+    let ctaid = b.s2r(SReg::CtaIdX);
+    let ntid = b.s2r(SReg::NTidX);
+    b.imad(ctaid.into(), ntid.into(), tid.into())
+}
+
+/// Emits `base + (idx << 2)` — the address of a 4-byte element.
+pub fn elem_addr(b: &mut KernelBuilder, base: u64, idx: Reg) -> Reg {
+    let off = b.shl(idx.into(), Operand::Imm(2));
+    b.iadd(off.into(), Operand::Imm(base as u32))
+}
+
+/// Loads the `word`-th 4-byte value of the parameter block through a
+/// warp-uniform address — a *scalar* memory instruction (all lanes read
+/// the same location).
+pub fn load_param(b: &mut KernelBuilder, word: u32) -> Reg {
+    let a = b.mov(Operand::Imm(crate::gen::bufs::PARAMS as u32 + word * 4));
+    b.ld_global(a, 0)
+}
+
+/// Loads a per-32-thread-group parameter: every 32-thread group of the
+/// CTA reads `base[ctaid * groups_per_cta + tid/32]`. At warp size 32
+/// the address is warp-uniform (a scalar load, like per-warp tile
+/// metadata in real kernels); at warp size 64 the two merged groups
+/// read different values, which is exactly the source of the paper's
+/// Figure 10 half-scalar growth.
+pub fn warp_group_param(
+    b: &mut KernelBuilder,
+    base: u64,
+    groups_per_cta: u32,
+) -> Reg {
+    let tid = b.s2r(SReg::TidX);
+    let ctaid = b.s2r(SReg::CtaIdX);
+    let grp = b.shr(tid.into(), Operand::Imm(5));
+    let idx = b.imad(ctaid.into(), Operand::Imm(groups_per_cta), grp.into());
+    let addr = elem_addr(b, base, idx);
+    b.ld_global(addr, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gscalar_isa::LaunchConfig;
+    use gscalar_sim::memory::GlobalMemory;
+    use gscalar_sim::{ArchConfig, Gpu, GpuConfig};
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(30, 4), 30);
+        assert_eq!(Scale::Test.pick(30, 4), 4);
+    }
+
+    #[test]
+    fn global_tid_is_unique_across_grid() {
+        let mut b = KernelBuilder::new("gid");
+        let gid = global_tid(&mut b);
+        let addr = elem_addr(&mut b, crate::gen::bufs::OUT, gid);
+        let one = b.mov(Operand::Imm(1));
+        b.st_global(addr, one, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let mut gpu = Gpu::new(GpuConfig::test_small(), ArchConfig::baseline());
+        let mut mem = GlobalMemory::new();
+        gpu.run(&k, LaunchConfig::linear(3, 64), &mut mem);
+        for i in 0..(3 * 64) {
+            assert_eq!(mem.read_u32(crate::gen::bufs::OUT + i * 4), 1, "gid {i}");
+        }
+    }
+
+    #[test]
+    fn param_load_is_scalar_memory() {
+        let mut b = KernelBuilder::new("param");
+        let p = load_param(&mut b, 2);
+        b.iadd(p.into(), Operand::Imm(1));
+        b.exit();
+        let k = b.build().unwrap();
+        let mut gpu = Gpu::new(GpuConfig::test_small(), ArchConfig::baseline());
+        let mut mem = GlobalMemory::new();
+        mem.write_u32(crate::gen::bufs::PARAMS + 8, 77);
+        let stats = gpu.run(&k, LaunchConfig::linear(1, 32), &mut mem);
+        assert_eq!(stats.instr.eligible_mem, 1);
+        // The dependent add reads a scalar register: ALU-scalar.
+        assert!(stats.instr.eligible_alu >= 1);
+    }
+}

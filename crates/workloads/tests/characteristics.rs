@@ -1,0 +1,148 @@
+//! Per-benchmark characteristic guards: each synthetic kernel must keep
+//! the qualitative properties of the real application it stands in for
+//! (the properties every G-Scalar result depends on). Bounds are loose
+//! — the reduced test scale shifts fractions — but the *shape* must not
+//! silently regress when kernels are edited.
+
+use gscalar_core::Arch;
+use gscalar_sim::{Gpu, GpuConfig, Stats};
+use gscalar_workloads::{by_abbr, Scale};
+
+fn stats(abbr: &str) -> Stats {
+    let w = by_abbr(abbr, Scale::Test).expect("benchmark exists");
+    let mut gpu = Gpu::new(GpuConfig::test_small(), Arch::Baseline.config());
+    let mut mem = w.memory.clone();
+    gpu.run(&w.kernel, w.launch, &mut mem)
+}
+
+fn frac(n: u64, d: u64) -> f64 {
+    n as f64 / d.max(1) as f64
+}
+
+#[test]
+fn backprop_is_sfu_scalar_and_half_scalar() {
+    let s = stats("BP");
+    let wi = s.instr.warp_instrs;
+    assert!(frac(s.instr.sfu_instrs, wi) > 0.08, "BP needs SFU work");
+    assert!(
+        frac(s.instr.eligible_sfu, s.instr.sfu_instrs) > 0.8,
+        "BP's SFU arguments are warp-uniform"
+    );
+    assert!(frac(s.instr.eligible_half, wi) > 0.03, "BP's momentum term is half-warp uniform");
+    assert!(s.divergent_fraction() < 0.2, "BP is mostly convergent");
+}
+
+#[test]
+fn heartwall_and_lbm_are_heavily_divergent() {
+    for abbr in ["HW", "LBM"] {
+        let s = stats(abbr);
+        assert!(
+            s.divergent_fraction() > 0.3,
+            "{abbr} divergence {:.2} too low",
+            s.divergent_fraction()
+        );
+        assert!(
+            s.instr.eligible_divergent > 0,
+            "{abbr} must expose divergent-scalar work"
+        );
+    }
+}
+
+#[test]
+fn lbm_divergent_scalar_dominates_its_eligibility() {
+    let s = stats("LBM");
+    let others = s.instr.eligible_alu + s.instr.eligible_sfu + s.instr.eligible_mem;
+    assert!(
+        s.instr.eligible_divergent >= others,
+        "LBM: divergent-scalar ({}) should dominate ({} others)",
+        s.instr.eligible_divergent,
+        others
+    );
+}
+
+#[test]
+fn the_nondivergent_benchmarks_stay_nondivergent() {
+    // Section 5.1 lists mri-q, sgemm and spmv as non-divergent.
+    for abbr in ["MQ", "MM", "MV", "ST", "SR2"] {
+        let s = stats(abbr);
+        assert!(
+            s.divergent_fraction() < 0.15,
+            "{abbr} divergence {:.2} too high",
+            s.divergent_fraction()
+        );
+    }
+}
+
+#[test]
+fn btree_is_scalar_heavy() {
+    let s = stats("BT");
+    assert!(
+        frac(s.instr.eligible_alu, s.instr.warp_instrs) > 0.3,
+        "BT's traversal chain is warp-uniform"
+    );
+    assert!(s.instr.eligible_mem > 0, "BT's key loads are scalar memory");
+}
+
+#[test]
+fn spmv_is_value_similar_but_rarely_scalar() {
+    let s = stats("MV");
+    let f = s.rf.histogram.fractions();
+    let similar = f[1] + f[2] + f[3]; // 3-/2-/1-byte categories
+    assert!(similar > 0.3, "MV needs byte-similar registers, got {similar:.2}");
+    assert!(f[0] < 0.35, "MV scalars should be rare, got {:.2}", f[0]);
+}
+
+#[test]
+fn sgemm_uses_shared_memory_and_barriers() {
+    let s = stats("MM");
+    assert!(s.mem.shared_accesses > 0);
+    assert!(frac(s.instr.eligible_half, s.instr.warp_instrs) > 0.05);
+}
+
+#[test]
+fn lbm_is_memory_heavy() {
+    let s = stats("LBM");
+    assert!(
+        frac(s.instr.mem_instrs, s.instr.warp_instrs) > 0.2,
+        "LBM moves many distribution values"
+    );
+}
+
+#[test]
+fn leukocyte_uses_long_latency_division() {
+    let w = by_abbr("LC", Scale::Test).expect("benchmark exists");
+    let has_div = w
+        .kernel
+        .instrs()
+        .iter()
+        .any(|i| matches!(i.kind, gscalar_isa::InstrKind::Alu { op: gscalar_isa::AluOp::IDiv, .. }));
+    assert!(has_div, "LC must carry the IDIV that makes it latency-bound");
+    // Few CTAs: limited latency hiding (the Section 5.4 story).
+    assert!(w.launch.grid.count() <= 16);
+}
+
+#[test]
+fn every_benchmark_has_meaningful_scalar_eligibility() {
+    for abbr in gscalar_workloads::ABBRS {
+        let s = stats(abbr);
+        let total = frac(s.instr.eligible_total(), s.instr.warp_instrs);
+        assert!(
+            total > 0.02,
+            "{abbr}: only {:.1}% scalar-eligible",
+            100.0 * total
+        );
+        assert!(total < 0.9, "{abbr}: suspiciously scalar ({:.2})", total);
+    }
+}
+
+#[test]
+fn compression_beats_raw_on_every_benchmark() {
+    for abbr in gscalar_workloads::ABBRS {
+        let s = stats(abbr);
+        assert!(
+            s.rf.ours_arrays < s.rf.baseline_arrays,
+            "{abbr}: compression saved no array activations"
+        );
+        assert!(s.rf.ours_ratio() > 1.0, "{abbr}: no compression achieved");
+    }
+}

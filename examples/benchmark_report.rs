@@ -1,0 +1,72 @@
+//! Full report for one benchmark of the suite: instruction mix, scalar
+//! eligibility, register-file behavior, and the power breakdown on
+//! every architecture.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_report            # backprop
+//! cargo run --release --example benchmark_report -- LBM     # any abbr
+//! ```
+
+use gscalar::core::{Arch, Runner};
+use gscalar::sim::GpuConfig;
+use gscalar::workloads::{by_abbr, Scale, ABBRS};
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "BP".to_owned());
+    let Some(w) = by_abbr(&abbr, Scale::Full) else {
+        eprintln!("unknown benchmark `{abbr}`; available: {ABBRS:?}");
+        std::process::exit(1);
+    };
+    println!("benchmark: {} ({})", w.name, w.abbr);
+    println!(
+        "launch: {} CTAs x {} threads, {} static instructions, {} registers\n",
+        w.launch.grid.count(),
+        w.launch.block.count(),
+        w.kernel.len(),
+        w.kernel.num_regs()
+    );
+
+    let runner = Runner::new(GpuConfig::gtx480());
+    let base = runner.run(&w, Arch::Baseline);
+    let s = &base.stats;
+    let wi = s.instr.warp_instrs as f64;
+    println!("== instruction mix (baseline run) ==");
+    println!("warp instructions   {}", s.instr.warp_instrs);
+    println!("thread instructions {}", s.instr.thread_instrs);
+    println!(
+        "ALU/SFU/MEM/CTRL    {:.1}% / {:.1}% / {:.1}% / {:.1}%",
+        100.0 * s.instr.alu_instrs as f64 / wi,
+        100.0 * s.instr.sfu_instrs as f64 / wi,
+        100.0 * s.instr.mem_instrs as f64 / wi,
+        100.0 * s.instr.ctrl_instrs as f64 / wi
+    );
+    println!("divergent           {:.1}%", 100.0 * s.divergent_fraction());
+    println!("\n== scalar eligibility (Figure 9 categories) ==");
+    println!("ALU scalar          {:.1}%", 100.0 * s.instr.eligible_alu as f64 / wi);
+    println!("SFU scalar          {:.1}%", 100.0 * s.instr.eligible_sfu as f64 / wi);
+    println!("memory scalar       {:.1}%", 100.0 * s.instr.eligible_mem as f64 / wi);
+    println!("half-warp scalar    {:.1}%", 100.0 * s.instr.eligible_half as f64 / wi);
+    println!("divergent scalar    {:.1}%", 100.0 * s.instr.eligible_divergent as f64 / wi);
+    println!("total               {:.1}%", 100.0 * s.instr.eligible_total() as f64 / wi);
+    println!("\n== register file ==");
+    println!("access distribution: {}", s.rf.histogram);
+    println!(
+        "compression ratio:   ours {:.2}, BDI {:.2}",
+        s.rf.ours_ratio(),
+        s.rf.bdi_ratio()
+    );
+    println!("decompress-moves:    {}", s.instr.decompress_moves);
+
+    println!("\n== power on each architecture ==");
+    for arch in Arch::ALL {
+        let r = runner.run(&w, arch);
+        println!("--- {} ---", arch.label());
+        print!("{}", r.power);
+        println!(
+            "  scalar-executed: {:.1}% | IPC vs baseline: {:+.1}% | IPC/W vs baseline: {:+.1}%",
+            100.0 * r.stats.instr.executed_scalar as f64 / r.stats.instr.warp_instrs as f64,
+            100.0 * (r.stats.ipc() / base.stats.ipc() - 1.0),
+            100.0 * (r.ipc_per_watt() / base.ipc_per_watt() - 1.0),
+        );
+    }
+}

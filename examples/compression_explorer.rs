@@ -1,0 +1,79 @@
+//! Explore the byte-wise compression scheme against BDI on
+//! characteristic register-value patterns (paper Sections 2.2 and 3.1).
+//!
+//! ```sh
+//! cargo run --release --example compression_explorer
+//! ```
+
+use gscalar::compress::{bdi, bytewise, full_mask};
+
+fn show(name: &str, values: &[u32]) {
+    let enc = bytewise::encode(values, full_mask(values.len()));
+    let ours = bytewise::compress(values);
+    let b = bdi::compress(values);
+    println!(
+        "{:<28} enc={:<7} ours {:>4} B (x{:>5.2})   BDI[{:<8}] {:>4} B (x{:>5.2})",
+        name,
+        enc.to_string(),
+        ours.size_bytes(),
+        (values.len() * 4) as f64 / ours.size_bytes() as f64,
+        b.mode.to_string(),
+        b.bytes,
+        b.ratio(),
+    );
+}
+
+fn main() {
+    println!("32-lane vector register = 128 raw bytes\n");
+
+    // The paper's running example (Section 2.2): coalesced addresses.
+    let addresses: Vec<u32> = (0..32).map(|i| 0xC040_39C0 + i * 8).collect();
+    show("coalesced addresses", &addresses);
+
+    // A warp-uniform value (kernel parameter, loop bound, ...).
+    show("warp-uniform scalar", &[0xDEAD_BEEF; 32]);
+
+    // All zero (freshly cleared accumulators).
+    show("all zero", &[0u32; 32]);
+
+    // Clustered floats: the exponent byte matches, mantissas differ.
+    let floats: Vec<u32> = (0..32).map(|i| (1.0f32 + i as f32 * 0.01).to_bits()).collect();
+    show("clustered f32", &floats);
+
+    // Small integers (indices, flags).
+    let small: Vec<u32> = (0..32).map(|i| (i * 37) % 251).collect();
+    show("small integers", &small);
+
+    // Section 3.1's caveat: values adjacent in magnitude whose hex
+    // representations differ widely — BDI wins here.
+    let carry: Vec<u32> = (0..32)
+        .map(|i| if i % 2 == 0 { 0x0001_0000 } else { 0x0000_FFFF })
+        .collect();
+    show("carry-boundary pair", &carry);
+
+    // Incompressible noise.
+    let noise: Vec<u32> = (0..32u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7))
+        .collect();
+    show("hash noise", &noise);
+
+    println!();
+    // Divergent comparison: inactive lanes are ignored via broadcast.
+    let mut mixed = vec![7u32; 32];
+    for (lane, v) in mixed.iter_mut().enumerate() {
+        if lane % 3 == 0 {
+            *v = 99;
+        }
+    }
+    let mask: u64 = (0..32)
+        .filter(|l| l % 3 != 0)
+        .fold(0u64, |m, l| m | (1 << l));
+    println!(
+        "mixed values, full mask      → {:?}",
+        bytewise::encode(&mixed, full_mask(32))
+    );
+    println!(
+        "same values, divergent mask  → {:?} (active lanes all hold 7)",
+        bytewise::encode(&mixed, mask)
+    );
+}

@@ -1,0 +1,15 @@
+// Per-thread |x - 128| with a divergent if/else, stored to 0x30000.
+.kernel reduce_abs regs=8
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R1, R2, R0
+    ISUB R4, R3, 128
+    ISETP.LT P0, R4, 0
+    @!P0 BRA keep
+    ISUB R4, 0, R4             // negate on the divergent path
+keep:
+    SHL R5, R3, 2
+    IADD R6, R5, 0x30000
+    ST.GLOBAL [R6], R4
+    EXIT

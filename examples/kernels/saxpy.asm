@@ -1,0 +1,17 @@
+// SAXPY: y[i] = a * x[i] + y[i]
+// Buffers: a at 0x100 (f32), x at 0x10000, y at 0x20000.
+.kernel saxpy regs=12
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R1, R2, R0        // global thread id
+    SHL R4, R3, 2              // byte offset
+    MOV R5, 0x100              // &a (warp-uniform: scalar load)
+    LD.GLOBAL R6, [R5]
+    IADD R7, R4, 0x10000       // &x[i]
+    IADD R8, R4, 0x20000       // &y[i]
+    LD.GLOBAL R9, [R7]
+    LD.GLOBAL R10, [R8]
+    FFMA R11, R6, R9, R10
+    ST.GLOBAL [R8], R11
+    EXIT

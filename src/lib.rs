@@ -1,0 +1,18 @@
+//! Umbrella crate for the G-Scalar reproduction (HPCA 2017).
+//!
+//! Re-exports every sub-crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`isa`] — SIMT ISA, kernels, CFG analysis, builder DSL, assembler.
+//! * [`compress`] — byte-wise register value compression and BDI baseline.
+//! * [`sim`] — cycle-level Fermi-like GPU simulator.
+//! * [`power`] — GPUWattch-style event-energy power model.
+//! * [`core`] — G-Scalar architecture variants and the simulation runner.
+//! * [`workloads`] — 17 synthetic Parboil/Rodinia-like benchmarks.
+
+pub use gscalar_compress as compress;
+pub use gscalar_core as core;
+pub use gscalar_isa as isa;
+pub use gscalar_power as power;
+pub use gscalar_sim as sim;
+pub use gscalar_workloads as workloads;

@@ -1,0 +1,86 @@
+//! Differential correctness: the cycle-level SIMT simulator must leave
+//! exactly the same memory contents as a per-thread reference
+//! interpreter — for every benchmark in the suite and under every
+//! architecture variant (scalar execution and compression are
+//! microarchitectural and must never change architectural state).
+
+use gscalar::core::{Arch, Runner, Workload};
+use gscalar::sim::memory::GlobalMemory;
+use gscalar::sim::reference::run_reference;
+use gscalar::sim::{ArchConfig, Gpu, GpuConfig};
+use gscalar::workloads::{suite, Scale};
+
+fn reference_memory(w: &Workload) -> GlobalMemory {
+    let mut mem = w.memory.clone();
+    run_reference(&w.kernel, w.launch, &mut mem);
+    mem
+}
+
+fn simulated_memory(w: &Workload, arch: ArchConfig) -> GlobalMemory {
+    let mut mem = w.memory.clone();
+    let mut gpu = Gpu::new(GpuConfig::test_small(), arch);
+    gpu.run(&w.kernel, w.launch, &mut mem);
+    mem
+}
+
+#[test]
+fn every_benchmark_matches_the_reference_interpreter() {
+    for w in suite(Scale::Test) {
+        let expect = reference_memory(&w);
+        let got = simulated_memory(&w, ArchConfig::baseline());
+        assert!(
+            got.content_eq(&expect),
+            "{}: SIMT simulation diverges from reference at {:?}",
+            w.abbr,
+            got.first_difference(&expect)
+        );
+    }
+}
+
+#[test]
+fn architecture_variants_never_change_results() {
+    // Scalar execution, compression, and the +3-cycle latency are
+    // performance/power features; architectural results must be
+    // identical across all four evaluated designs.
+    for w in suite(Scale::Test) {
+        let baseline = simulated_memory(&w, Arch::Baseline.config());
+        for arch in [Arch::AluScalar, Arch::GScalarNoDivergent, Arch::GScalar] {
+            let got = simulated_memory(&w, arch.config());
+            assert!(
+                got.content_eq(&baseline),
+                "{}: {} changed architectural results at {:?}",
+                w.abbr,
+                arch,
+                got.first_difference(&baseline)
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let runner = Runner::new(GpuConfig::test_small());
+    for w in suite(Scale::Test).into_iter().take(4) {
+        let a = runner.run(&w, Arch::GScalar);
+        let b = runner.run(&w, Arch::GScalar);
+        assert_eq!(a.stats, b.stats, "{} is nondeterministic", w.abbr);
+    }
+}
+
+#[test]
+fn warp64_configuration_still_matches_reference() {
+    let mut cfg = GpuConfig::test_small();
+    cfg.warp_size = 64;
+    for w in suite(Scale::Test) {
+        let expect = reference_memory(&w);
+        let mut mem = w.memory.clone();
+        let mut gpu = Gpu::new(cfg.clone(), ArchConfig::baseline());
+        gpu.run(&w.kernel, w.launch, &mut mem);
+        assert!(
+            mem.content_eq(&expect),
+            "{}: warp-64 simulation diverges at {:?}",
+            w.abbr,
+            mem.first_difference(&expect)
+        );
+    }
+}
