@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, and the full test
+# suite. Everything runs offline — the workspace has no registry
+# dependencies (proptest/criterion resolve to in-repo shims).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace --offline
+
+echo "== cargo test"
+cargo test -q --workspace --offline
+
+echo "ci: all green"

@@ -63,5 +63,10 @@ fn bench_divergent_encode(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_roundtrip, bench_divergent_encode);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_roundtrip,
+    bench_divergent_encode
+);
 criterion_main!(benches);

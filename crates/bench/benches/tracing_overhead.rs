@@ -1,0 +1,50 @@
+//! Tracing-overhead benchmark: the disabled-tracer path must cost
+//! almost nothing (target ≤2% vs the untraced run loop), and the
+//! enabled path's cost is reported for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gscalar_core::{Arch, Runner};
+use gscalar_sim::GpuConfig;
+use gscalar_trace::{EventBuf, Tracer};
+use gscalar_workloads::{by_abbr, Scale};
+use std::hint::black_box;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing");
+    g.sample_size(20);
+    let runner = Runner::new(GpuConfig::test_small());
+    let w = by_abbr("BP", Scale::Test).expect("known benchmark");
+    let instrs = runner.run(&w, Arch::GScalar).stats.instr.warp_instrs;
+    g.throughput(Throughput::Elements(instrs));
+
+    // Baseline: the plain run loop (internally an off-tracer).
+    g.bench_function("off/run", |b| {
+        b.iter(|| black_box(runner.run(&w, Arch::GScalar).stats.cycles))
+    });
+
+    // Explicit off-tracer through the traced entry point: measures the
+    // dispatch overhead of the Option branch alone.
+    g.bench_function("off/run_traced", |b| {
+        b.iter(|| {
+            let mut t = Tracer::off();
+            black_box(runner.run_traced(&w, Arch::GScalar, &mut t, 0).stats.cycles)
+        })
+    });
+
+    // Enabled: ring-buffered sink plus interval snapshots.
+    g.bench_function("on/event_buf", |b| {
+        b.iter(|| {
+            let mut buf = EventBuf::new(1 << 16);
+            let mut t = Tracer::new(&mut buf);
+            let cycles = runner
+                .run_traced(&w, Arch::GScalar, &mut t, 64)
+                .stats
+                .cycles;
+            black_box((cycles, buf.len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -18,7 +18,13 @@ fn main() {
         "{}",
         row(
             "bench",
-            &["hw-moves".into(), "cc-moves".into(), "elided".into(), "hw-ovh%".into(), "cc-ovh%".into()]
+            &[
+                "hw-moves".into(),
+                "cc-moves".into(),
+                "elided".into(),
+                "hw-ovh%".into(),
+                "cc-ovh%".into()
+            ]
         )
     );
     let cfg = GpuConfig::gtx480();

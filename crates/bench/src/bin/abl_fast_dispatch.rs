@@ -16,7 +16,10 @@ fn main() {
     println!("Extension: scalar fast dispatch (IPC normalized to baseline)");
     println!(
         "{}",
-        row("bench", &["G-Scalar".into(), "fast-disp".into(), "speedup%".into()])
+        row(
+            "bench",
+            &["G-Scalar".into(), "fast-disp".into(), "speedup%".into()]
+        )
     );
     let cfg = GpuConfig::gtx480();
     let mut gains = Vec::new();
@@ -37,11 +40,21 @@ fn main() {
             "{}",
             row(
                 &w.abbr,
-                &[format!("{gs:.3}"), format!("{fast:.3}"), format!("{gain:+.1}")]
+                &[
+                    format!("{gs:.3}"),
+                    format!("{fast:.3}"),
+                    format!("{gain:+.1}")
+                ]
             )
         );
     }
-    println!("{}", row("AVG", &["".into(), "".into(), format!("{:+.1}", mean(&gains))]));
+    println!(
+        "{}",
+        row(
+            "AVG",
+            &["".into(), "".into(), format!("{:+.1}", mean(&gains))]
+        )
+    );
     println!();
     println!("SFU-heavy benchmarks benefit most: a scalar special-function");
     println!("instruction frees the 4-lane SFU port after one cycle instead");

@@ -31,7 +31,12 @@ fn main() {
         "{}",
         row(
             "bench",
-            &["gtx480".into(), "future".into(), "gs-480".into(), "gs-fut".into()]
+            &[
+                "gtx480".into(),
+                "future".into(),
+                "gs-480".into(),
+                "gs-fut".into()
+            ]
         )
     );
     let now = GpuConfig::gtx480();

@@ -13,7 +13,13 @@ use gscalar_workloads::{suite, Scale};
 
 fn main() {
     println!("Ablation: half-warp scalar execution on/off (IPC/W, baseline = 1.0)");
-    println!("{}", row("bench", &["no-half".into(), "with-half".into(), "delta%".into()]));
+    println!(
+        "{}",
+        row(
+            "bench",
+            &["no-half".into(), "with-half".into(), "delta%".into()]
+        )
+    );
     let runner = Runner::new(GpuConfig::gtx480());
     let cfg = GpuConfig::gtx480();
     let mut deltas = Vec::new();
@@ -42,11 +48,21 @@ fn main() {
             "{}",
             row(
                 &w.abbr,
-                &[format!("{no_half:.3}"), format!("{half:.3}"), format!("{d:+.2}")]
+                &[
+                    format!("{no_half:.3}"),
+                    format!("{half:.3}"),
+                    format!("{d:+.2}")
+                ]
             )
         );
     }
-    println!("{}", row("AVG", &["".into(), "".into(), format!("{:+.2}", mean(&deltas))]));
+    println!(
+        "{}",
+        row(
+            "AVG",
+            &["".into(), "".into(), format!("{:+.2}", mean(&deltas))]
+        )
+    );
     println!();
     println!(
         "cost: RF area overhead {:.0}% → {:.0}% (Section 4.3); the paper keeps",

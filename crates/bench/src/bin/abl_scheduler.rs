@@ -17,7 +17,12 @@ fn main() {
         "{}",
         row(
             "bench",
-            &["gto-IPC".into(), "lrr-IPC".into(), "gto-ser".into(), "lrr-ser".into()]
+            &[
+                "gto-IPC".into(),
+                "lrr-IPC".into(),
+                "gto-ser".into(),
+                "lrr-ser".into()
+            ]
         )
     );
     for w in suite(Scale::Full) {

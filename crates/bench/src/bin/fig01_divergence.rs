@@ -7,7 +7,10 @@ use gscalar_sim::GpuConfig;
 
 fn main() {
     println!("Figure 1: divergent / divergent-scalar instruction fractions");
-    println!("{}", row("bench", &["divergent%".into(), "div-scalar%".into()]));
+    println!(
+        "{}",
+        row("bench", &["divergent%".into(), "div-scalar%".into()])
+    );
     let mut divs = Vec::new();
     let mut dscals = Vec::new();
     for (abbr, r) in run_suite(Arch::Baseline, &GpuConfig::gtx480()) {
@@ -20,7 +23,13 @@ fn main() {
     }
     println!(
         "{}",
-        row("AVG", &[format!("{:.1}", mean(&divs)), format!("{:.1}", mean(&dscals))])
+        row(
+            "AVG",
+            &[
+                format!("{:.1}", mean(&divs)),
+                format!("{:.1}", mean(&dscals))
+            ]
+        )
     );
     println!();
     println!("paper: avg 28% divergent; 45% of divergent instructions are");

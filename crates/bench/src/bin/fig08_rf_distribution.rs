@@ -6,10 +6,12 @@ use gscalar_sim::GpuConfig;
 
 fn main() {
     println!("Figure 8: RF access distribution (operand value similarity)");
-    let head: Vec<String> = ["scalar%", "3-byte%", "2-byte%", "1-byte%", "other%", "diverg%"]
-        .iter()
-        .map(|s| (*s).into())
-        .collect();
+    let head: Vec<String> = [
+        "scalar%", "3-byte%", "2-byte%", "1-byte%", "other%", "diverg%",
+    ]
+    .iter()
+    .map(|s| (*s).into())
+    .collect();
     println!("{}", row("bench", &head));
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for (abbr, r) in run_suite(Arch::Baseline, &GpuConfig::gtx480()) {

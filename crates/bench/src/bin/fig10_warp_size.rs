@@ -23,11 +23,17 @@ fn main() {
         let h64 = 100.0 * s64.instr.eligible_half as f64 / s64.instr.warp_instrs as f64;
         a32.push(h32);
         a64.push(h64);
-        println!("{}", row(&w.abbr, &[format!("{h32:.1}"), format!("{h64:.1}")]));
+        println!(
+            "{}",
+            row(&w.abbr, &[format!("{h32:.1}"), format!("{h64:.1}")])
+        );
     }
     println!(
         "{}",
-        row("AVG", &[format!("{:.1}", mean(&a32)), format!("{:.1}", mean(&a64))])
+        row(
+            "AVG",
+            &[format!("{:.1}", mean(&a32)), format!("{:.1}", mean(&a64))]
+        )
     );
     println!();
     println!("paper: average half-scalar ~2% at warp 32, rising to ~5% at warp 64");

@@ -7,8 +7,20 @@ use std::time::Instant;
 
 fn main() {
     let runner = Runner::new(GpuConfig::gtx480());
-    println!("{:<6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
-        "bench", "winstr", "div%", "dscal%", "alu%", "sfu%", "mem%", "half%", "tot%", "cycles", "t(s)");
+    println!(
+        "{:<6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "bench",
+        "winstr",
+        "div%",
+        "dscal%",
+        "alu%",
+        "sfu%",
+        "mem%",
+        "half%",
+        "tot%",
+        "cycles",
+        "t(s)"
+    );
     for w in suite(Scale::Full) {
         let t0 = Instant::now();
         let r = runner.run(&w, Arch::Baseline);

@@ -4,7 +4,10 @@ use gscalar_workloads::{suite, Scale};
 
 fn main() {
     println!("Table 2: benchmarks (synthetic reproductions; see DESIGN.md)");
-    println!("{:<12} {:<6} {:>8} {:>8} {:>8}", "benchmark", "abbr", "ctas", "block", "instrs");
+    println!(
+        "{:<12} {:<6} {:>8} {:>8} {:>8}",
+        "benchmark", "abbr", "ctas", "block", "instrs"
+    );
     for w in suite(Scale::Full) {
         println!(
             "{:<12} {:<6} {:>8} {:>8} {:>8}",

@@ -8,7 +8,10 @@ use gscalar_power::synthesis::{
 
 fn main() {
     println!("Table 3: encoder/decoder synthesis at 1.4 GHz (40 nm, incl. pipeline regs)");
-    println!("{:<14} {:>12} {:>10} {:>10}", "", "area (um^2)", "delay(ns)", "power(mW)");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "", "area (um^2)", "delay(ns)", "power(mW)"
+    );
     println!(
         "{:<14} {:>12.0} {:>10.2} {:>10.2}",
         "decompressor", DECOMPRESSOR.area_um2, DECOMPRESSOR.delay_ns, DECOMPRESSOR.power_mw

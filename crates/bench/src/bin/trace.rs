@@ -1,0 +1,140 @@
+//! Cycle-level trace capture: runs a kernel with tracing enabled and
+//! writes every exporter's output plus a stall-breakdown report.
+//!
+//! ```sh
+//! # Trace the built-in divergent example kernel (Figure 7b shape):
+//! cargo run --release --bin trace
+//!
+//! # Trace a suite workload by paper abbreviation:
+//! cargo run --release --bin trace -- BP
+//! ```
+//!
+//! Outputs (in the current directory, prefix `trace_<name>`):
+//!
+//! - `*.json` — Chrome trace-event JSON; open in Perfetto or
+//!   `chrome://tracing`. One process per SM, one track per warp
+//!   (execution spans), per scheduler (issue/stall instants), plus a
+//!   memory-transaction track and counter tracks for interval metrics.
+//! - `*.csv` — per-SM interval time series (IPC, scalar rate,
+//!   compression ratio, RF activations).
+//! - `*_waterfall.txt` — per-warp issue waterfall.
+//!
+//! The stall report printed at the end checks the taxonomy invariant:
+//! the per-reason counts must sum exactly to `scheduler_idle_cycles`.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use gscalar_core::{Arch, Runner, Workload};
+use gscalar_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, SReg};
+use gscalar_sim::memory::GlobalMemory;
+use gscalar_sim::GpuConfig;
+use gscalar_trace::export::{
+    chrome_json, csv_timeseries, mem_level_counts, stall_report, waterfall,
+};
+use gscalar_trace::{EventBuf, Tracer};
+use gscalar_workloads::{by_abbr, Scale};
+
+/// Event-buffer capacity: large enough to hold every event of the
+/// default kernel; suite workloads keep the most recent window.
+const CAPACITY: usize = 1 << 20;
+
+/// Interval-metric snapshot period in cycles.
+const SNAPSHOT_INTERVAL: u64 = 64;
+
+/// The divergent example kernel (paper Figure 7b): a branch on
+/// `tid < 8` whose taken path runs a scalar chain on a warp-uniform
+/// value and whose other path does per-lane math, then a store.
+fn divergent_workload() -> Workload {
+    let mut b = KernelBuilder::new("divergent");
+    let tid = b.s2r(SReg::TidX);
+    let omega = b.mov(Operand::imm_f32(1.85)); // uniform parameter
+    let acc = b.mov_f32(0.0);
+    let p = b.isetp(CmpOp::Lt, tid.into(), Operand::Imm(8));
+    b.if_else(
+        p.into(),
+        |b| {
+            // Path A: chain on the uniform omega → divergent-scalar.
+            let c1 = b.fmul(omega.into(), Operand::imm_f32(0.5));
+            let c2 = b.fadd(c1.into(), Operand::imm_f32(0.1));
+            let c3 = b.fmul(c2.into(), c1.into());
+            b.fadd_to(acc, acc.into(), c3.into());
+        },
+        |b| {
+            // Path B: per-lane math → vector execution.
+            let t = b.i2f(tid.into());
+            let u = b.fmul(t.into(), Operand::imm_f32(0.25));
+            b.fadd_to(acc, acc.into(), u.into());
+        },
+    );
+    let off = b.shl(tid.into(), Operand::Imm(2));
+    let addr = b.iadd(off.into(), Operand::Imm(0x1_0000));
+    b.st_global(addr, acc, 0);
+    b.exit();
+    Workload::new(
+        "divergent",
+        "DIV",
+        b.build().expect("kernel is valid"),
+        LaunchConfig::linear(4, 64),
+        GlobalMemory::new(),
+    )
+}
+
+fn main() -> ExitCode {
+    let arg = env::args().nth(1);
+    let workload = match arg.as_deref() {
+        None | Some("DIV") => divergent_workload(),
+        Some(abbr) => match by_abbr(abbr, Scale::Test) {
+            Some(w) => w,
+            None => {
+                eprintln!("unknown benchmark abbreviation: {abbr} (try BP, LBM, MM, ... or DIV)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let runner = Runner::new(GpuConfig::test_small());
+    let mut buf = EventBuf::new(CAPACITY);
+    let mut tracer = Tracer::new(&mut buf);
+    let report = runner.run_traced(&workload, Arch::GScalar, &mut tracer, SNAPSHOT_INTERVAL);
+    let stats = &report.stats;
+
+    let records = buf.into_records();
+    let prefix = format!("trace_{}", workload.name);
+    let json_path = format!("{prefix}.json");
+    let csv_path = format!("{prefix}.csv");
+    let wf_path = format!("{prefix}_waterfall.txt");
+    fs::write(&json_path, chrome_json(&records)).expect("write chrome trace");
+    fs::write(&csv_path, csv_timeseries(&records)).expect("write csv");
+    fs::write(&wf_path, waterfall(&records)).expect("write waterfall");
+
+    println!(
+        "workload {:<12} arch {:<10} cycles {:>8}  warp instrs {:>8}  events {}",
+        workload.name,
+        report.arch.label(),
+        stats.cycles,
+        stats.instr.warp_instrs,
+        records.len(),
+    );
+    println!("wrote {json_path}, {csv_path}, {wf_path}\n");
+
+    println!("memory transactions by level:");
+    for (level, n) in mem_level_counts(&records) {
+        println!("    {:<12} {n:>8}", level.label());
+    }
+    println!();
+
+    let rep = stall_report(
+        &stats.pipe.stalls,
+        stats.pipe.scheduler_idle_cycles,
+        stats.pipe.issued,
+    );
+    println!("{rep}");
+    if stats.pipe.stalls.total() == stats.pipe.scheduler_idle_cycles {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("stall taxonomy invariant violated");
+        ExitCode::FAILURE
+    }
+}

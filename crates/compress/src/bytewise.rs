@@ -73,7 +73,11 @@ pub fn encode(values: &[u32], mask: u64) -> Encoding {
 pub fn first_active(values: &[u32], mask: u64) -> u32 {
     let lane = mask.trailing_zeros() as usize;
     assert!(mask != 0, "active mask must select at least one lane");
-    assert!(lane < values.len(), "active mask selects lane {lane} beyond {}", values.len());
+    assert!(
+        lane < values.len(),
+        "active mask selects lane {lane} beyond {}",
+        values.len()
+    );
     values[lane]
 }
 
@@ -297,7 +301,9 @@ mod tests {
     #[test]
     fn u64_prefix_counts_high_bytes() {
         // 64-bit addresses: high 6 bytes identical, low 2 vary.
-        let addrs: Vec<u64> = (0..32).map(|i| 0x0000_7F00_1234_0000u64 + i * 0x777).collect();
+        let addrs: Vec<u64> = (0..32)
+            .map(|i| 0x0000_7F00_1234_0000u64 + i * 0x777)
+            .collect();
         assert_eq!(uniform_prefix_bytes_u64(&addrs, crate::full_mask(32)), 6);
         // Uniform 64-bit value.
         assert_eq!(uniform_prefix_bytes_u64(&[9u64; 4], 0xF), 8);

@@ -279,10 +279,7 @@ impl RegFileMeta {
         }
         let (stored, arrays) = if self.cfg.half {
             let chunks = bytewise::encode_chunks(values);
-            let arrays: usize = chunks
-                .iter()
-                .map(|(e, _)| e.delta_bytes_per_lane())
-                .sum();
+            let arrays: usize = chunks.iter().map(|(e, _)| e.delta_bytes_per_lane()).sum();
             meta.chunks = chunks
                 .iter()
                 .map(|&(enc, bvr)| ChunkMeta { enc, bvr })
@@ -342,8 +339,7 @@ impl RegFileMeta {
                 .iter()
                 .map(|c| c.enc.delta_bytes_per_lane())
                 .sum();
-            let chunk_scalar: Vec<bool> =
-                meta.chunks.iter().map(|c| c.enc.is_scalar()).collect();
+            let chunk_scalar: Vec<bool> = meta.chunks.iter().map(|c| c.enc.is_scalar()).collect();
             let scalar = meta.fs;
             let class = if meta.fs {
                 ReadClass::Scalar

@@ -13,9 +13,8 @@ fn lanes32() -> impl Strategy<Value = Vec<u32>> {
 fn structured32() -> impl Strategy<Value = Vec<u32>> {
     prop_oneof![
         any::<u32>().prop_map(|v| vec![v; 32]),
-        (any::<u32>(), 1u32..64).prop_map(|(base, step)| {
-            (0..32u32).map(|i| base.wrapping_add(i * step)).collect()
-        }),
+        (any::<u32>(), 1u32..64)
+            .prop_map(|(base, step)| { (0..32u32).map(|i| base.wrapping_add(i * step)).collect() }),
         lanes32(),
     ]
 }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod arch;
+pub mod rng;
 pub mod runner;
 
 pub use arch::Arch;

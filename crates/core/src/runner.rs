@@ -4,6 +4,7 @@ use gscalar_isa::{Kernel, LaunchConfig};
 use gscalar_power::{chip_power, EnergyModel, PowerReport, RfScheme};
 use gscalar_sim::memory::GlobalMemory;
 use gscalar_sim::{Gpu, GpuConfig, Stats};
+use gscalar_trace::Tracer;
 
 use crate::arch::Arch;
 
@@ -122,10 +123,36 @@ impl Runner {
     /// Runs `workload` on `arch` and returns statistics plus power.
     #[must_use]
     pub fn run(&self, workload: &Workload, arch: Arch) -> RunReport {
+        self.run_traced(workload, arch, &mut Tracer::off(), 0)
+    }
+
+    /// [`Runner::run`] with cycle-level tracing: events go to `tracer`
+    /// and, when `snapshot_interval > 0`, per-SM interval metrics are
+    /// emitted every `snapshot_interval` cycles.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        workload: &Workload,
+        arch: Arch,
+        tracer: &mut Tracer<'_>,
+        snapshot_interval: u64,
+    ) -> RunReport {
         let mut gpu = Gpu::new(self.cfg.clone(), arch.config());
         let mut mem = workload.memory.clone();
-        let stats = gpu.run(&workload.kernel, workload.launch, &mut mem);
-        let power = chip_power(&stats, &self.cfg, arch.rf_scheme(), arch.has_codec(), &self.energy);
+        let stats = gpu.run_traced(
+            &workload.kernel,
+            workload.launch,
+            &mut mem,
+            tracer,
+            snapshot_interval,
+        );
+        let power = chip_power(
+            &stats,
+            &self.cfg,
+            arch.rf_scheme(),
+            arch.has_codec(),
+            &self.energy,
+        );
         RunReport { arch, stats, power }
     }
 

@@ -220,7 +220,10 @@ fn parse_kind(
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(ln, format!("{mn} expects {n} operands, got {}", ops.len())))
+            Err(err(
+                ln,
+                format!("{mn} expects {n} operands, got {}", ops.len()),
+            ))
         }
     };
     // ALU ops.
@@ -478,10 +481,7 @@ mod tests {
         ";
         let k = parse_kernel(text).unwrap();
         assert_eq!(k.name(), "jumpy");
-        assert_eq!(
-            k.instr(1).kind,
-            InstrKind::Bra { target: 3 },
-        );
+        assert_eq!(k.instr(1).kind, InstrKind::Bra { target: 3 },);
     }
 
     #[test]

@@ -418,7 +418,8 @@ impl KernelBuilder {
 
     /// Emits an SFU op into an existing register.
     pub fn sfu_to(&mut self, op: SfuOp, dst: Reg, a: Operand) {
-        self.instrs.push(Instr::always(InstrKind::Sfu { op, dst, a }));
+        self.instrs
+            .push(Instr::always(InstrKind::Sfu { op, dst, a }));
     }
 
     /// `dst = sin(a)`.
@@ -478,7 +479,8 @@ impl KernelBuilder {
     /// Reads a special register into a fresh register.
     pub fn s2r(&mut self, sreg: SReg) -> Reg {
         let dst = self.reg();
-        self.instrs.push(Instr::always(InstrKind::S2R { dst, sreg }));
+        self.instrs
+            .push(Instr::always(InstrKind::S2R { dst, sreg }));
         dst
     }
 
@@ -617,21 +619,20 @@ impl KernelBuilder {
                 }
             }
         }
-        Kernel::new(self.name, self.instrs, self.next_reg.max(1))
-            .map(|k| {
-                if self.shared_mem_bytes > 0 {
-                    // Rebuild with shared memory (validation already passed).
-                    Kernel::with_shared_mem(
-                        k.name().to_owned(),
-                        k.instrs().to_vec(),
-                        k.num_regs(),
-                        self.shared_mem_bytes,
-                    )
-                    .expect("already validated")
-                } else {
-                    k
-                }
-            })
+        Kernel::new(self.name, self.instrs, self.next_reg.max(1)).map(|k| {
+            if self.shared_mem_bytes > 0 {
+                // Rebuild with shared memory (validation already passed).
+                Kernel::with_shared_mem(
+                    k.name().to_owned(),
+                    k.instrs().to_vec(),
+                    k.num_regs(),
+                    self.shared_mem_bytes,
+                )
+                .expect("already validated")
+            } else {
+                k
+            }
+        })
     }
 }
 

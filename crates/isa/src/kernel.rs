@@ -3,8 +3,8 @@
 use std::fmt;
 
 use crate::cfg::Cfg;
-use crate::liveness::Liveness;
 use crate::instr::{Instr, InstrKind};
+use crate::liveness::Liveness;
 use crate::reg::Reg;
 
 /// A three-dimensional size, used for grid and CTA (thread-block) shapes.
@@ -206,8 +206,7 @@ impl Kernel {
         // The last instruction must not fall through: it must be an exit
         // or an unconditional branch.
         let last = instrs[instrs.len() - 1];
-        let terminates = last.is_exit()
-            || (last.is_branch() && last.guard.is_always());
+        let terminates = last.is_exit() || (last.is_branch() && last.guard.is_always());
         if !terminates {
             return Err(KernelError::MissingExit);
         }
@@ -330,10 +329,7 @@ mod tests {
 
     #[test]
     fn branch_target_validated() {
-        let bad = vec![
-            Instr::always(InstrKind::Bra { target: 5 }),
-            exit(),
-        ];
+        let bad = vec![Instr::always(InstrKind::Bra { target: 5 }), exit()];
         assert_eq!(
             Kernel::new("k", bad, 4).unwrap_err(),
             KernelError::BranchOutOfRange { pc: 0, target: 5 }
@@ -343,7 +339,10 @@ mod tests {
     #[test]
     fn fallthrough_end_rejected() {
         let bad = vec![Instr::always(InstrKind::Nop)];
-        assert_eq!(Kernel::new("k", bad, 4).unwrap_err(), KernelError::MissingExit);
+        assert_eq!(
+            Kernel::new("k", bad, 4).unwrap_err(),
+            KernelError::MissingExit
+        );
         // A guarded branch as the last instruction can fall through.
         let bad2 = vec![Instr::new(
             Guard::pos(Pred::new(0)),
@@ -354,10 +353,7 @@ mod tests {
             KernelError::MissingExit
         );
         // An unconditional backward branch is a valid terminator.
-        let ok = vec![
-            exit(),
-            Instr::always(InstrKind::Bra { target: 0 }),
-        ];
+        let ok = vec![exit(), Instr::always(InstrKind::Bra { target: 0 })];
         assert!(Kernel::new("k", ok, 4).is_ok());
     }
 

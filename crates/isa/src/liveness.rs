@@ -203,7 +203,7 @@ mod tests {
         let mut b = KernelBuilder::new("k");
         let x = b.mov(Operand::Imm(1)); // pc 0
         let p = b.isetp(CmpOp::Gt, x.into(), Operand::Imm(0)); // pc 1
-        // pc 2: guarded write merges lanes — old x stays live above it.
+                                                               // pc 2: guarded write merges lanes — old x stays live above it.
         b.mov_to(x, Operand::Imm(9));
         b.guard_last(p.into());
         let out = b.mov(Operand::Imm(64)); // pc 3

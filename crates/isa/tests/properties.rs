@@ -1,7 +1,10 @@
 //! Property-based tests: assembler round-trips and reconvergence
 //! analysis over randomly generated structured kernels.
 
-use gscalar_isa::{asm, AluOp, CmpOp, Guard, Instr, InstrKind, KernelBuilder, Operand, Pred, Reg, SReg, SfuOp, Space};
+use gscalar_isa::{
+    asm, AluOp, CmpOp, Guard, Instr, InstrKind, KernelBuilder, Operand, Pred, Reg, SReg, SfuOp,
+    Space,
+};
 use proptest::prelude::*;
 
 fn reg() -> impl Strategy<Value = Reg> {
@@ -34,11 +37,23 @@ fn instr_kind() -> impl Strategy<Value = InstrKind> {
         (alu_op(), reg(), operand(), operand(), operand()).prop_map(|(op, dst, a, b, c)| {
             // Unused trailing operands are canonically RZ (the printer
             // omits them, so the parser reconstructs RZ).
-            let b = if op.arity() >= 2 { b } else { Operand::Reg(Reg::RZ) };
-            let c = if op.arity() >= 3 { c } else { Operand::Reg(Reg::RZ) };
+            let b = if op.arity() >= 2 {
+                b
+            } else {
+                Operand::Reg(Reg::RZ)
+            };
+            let c = if op.arity() >= 3 {
+                c
+            } else {
+                Operand::Reg(Reg::RZ)
+            };
             InstrKind::Alu { op, dst, a, b, c }
         }),
-        (proptest::sample::select(SfuOp::ALL.to_vec()), reg(), operand())
+        (
+            proptest::sample::select(SfuOp::ALL.to_vec()),
+            reg(),
+            operand()
+        )
             .prop_map(|(op, dst, a)| InstrKind::Sfu { op, dst, a }),
         (reg(), operand()).prop_map(|(dst, src)| InstrKind::Mov { dst, src }),
         (reg(), proptest::sample::select(SReg::ALL.to_vec()))
@@ -50,21 +65,37 @@ fn instr_kind() -> impl Strategy<Value = InstrKind> {
             operand(),
             operand()
         )
-            .prop_map(|(cmp, float, dst, a, b)| InstrKind::SetP { cmp, float, dst, a, b }),
+            .prop_map(|(cmp, float, dst, a, b)| InstrKind::SetP {
+                cmp,
+                float,
+                dst,
+                a,
+                b
+            }),
         (
             prop_oneof![Just(Space::Global), Just(Space::Shared)],
             reg(),
             reg(),
             -4096i32..4096
         )
-            .prop_map(|(space, dst, addr, offset)| InstrKind::Ld { space, dst, addr, offset }),
+            .prop_map(|(space, dst, addr, offset)| InstrKind::Ld {
+                space,
+                dst,
+                addr,
+                offset
+            }),
         (
             prop_oneof![Just(Space::Global), Just(Space::Shared)],
             reg(),
             reg(),
             -4096i32..4096
         )
-            .prop_map(|(space, src, addr, offset)| InstrKind::St { space, src, addr, offset }),
+            .prop_map(|(space, src, addr, offset)| InstrKind::St {
+                space,
+                src,
+                addr,
+                offset
+            }),
         Just(InstrKind::Bar),
         Just(InstrKind::Nop),
     ]
@@ -115,8 +146,7 @@ fn stmt() -> impl Strategy<Value = Stmt> {
                 proptest::collection::vec(inner.clone(), 1..2)
             )
                 .prop_map(|(t, e)| Stmt::IfElse(t, e)),
-            ((1u8..4), proptest::collection::vec(inner, 1..2))
-                .prop_map(|(n, b)| Stmt::Loop(n, b)),
+            ((1u8..4), proptest::collection::vec(inner, 1..2)).prop_map(|(n, b)| Stmt::Loop(n, b)),
         ]
     })
 }

@@ -50,8 +50,7 @@ pub fn rf_energy_pj(stats: &Stats, scheme: RfScheme, e: &EnergyModel) -> f64 {
     match scheme {
         RfScheme::Baseline => rf.baseline_arrays as f64 * e.rf_array_pj,
         RfScheme::ScalarRf => {
-            rf.scalar_rf_small as f64 * e.scalar_rf_pj
-                + rf.scalar_rf_arrays as f64 * e.rf_array_pj
+            rf.scalar_rf_small as f64 * e.scalar_rf_pj + rf.scalar_rf_arrays as f64 * e.rf_array_pj
         }
         RfScheme::WarpedCompression => rf.bdi_arrays as f64 * e.rf_array_pj,
         RfScheme::ByteWise => {
@@ -256,7 +255,13 @@ mod tests {
     fn report_display_mentions_totals() {
         let s = stats_with(|_| {});
         let cfg = GpuConfig::gtx480();
-        let p = chip_power(&s, &cfg, RfScheme::Baseline, false, &EnergyModel::default_40nm());
+        let p = chip_power(
+            &s,
+            &cfg,
+            RfScheme::Baseline,
+            false,
+            &EnergyModel::default_40nm(),
+        );
         let text = p.to_string();
         assert!(text.contains("IPC/W"));
         assert!(text.contains("register-file"));

@@ -97,7 +97,7 @@ mod tests {
     fn per_sm_overhead_matches_section_5_1() {
         let o = sm_overhead();
         // 16 × 15.86 mW + 4 × 16.22 mW ≈ 0.32 W
-        assert!((o.power_w - 0.318).abs() < 0.01, "power {}", o.power_w);
+        assert!((o.power_w - 0.3186).abs() < 0.01, "power {}", o.power_w);
         // 16 × 7332 + 4 × 11624 µm² ≈ 0.16 mm²
         assert!((o.area_mm2 - 0.164).abs() < 0.005, "area {}", o.area_mm2);
     }

@@ -1,0 +1,653 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! The workspace must build and test with no crates.io access, so this
+//! crate re-implements exactly the subset of the proptest API our test
+//! suites use: `Strategy` with `prop_map`/`prop_recursive`, `Just`,
+//! `any`, integer-range and tuple strategies, `collection::vec`,
+//! `sample::select`, weighted `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Generation is a deterministic SplitMix64 stream seeded from the
+//!   test's module path and name, so failures reproduce exactly.
+//! * There is no shrinking: a failing case reports its inputs via the
+//!   assertion message (our tests all format the offending values).
+//! * `prop_recursive(depth, ..)` unrolls the recursion `depth` times
+//!   instead of weighting by size, which bounds tree depth identically.
+
+pub mod rng {
+    //! The deterministic random stream behind every strategy.
+
+    /// SplitMix64: the entire generator state is one `u64`.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator with the given seed.
+        #[must_use]
+        pub fn seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, span)` for `1 <= span <= 2^64`.
+        pub fn below(&mut self, span: u128) -> u64 {
+            debug_assert!((1..=1u128 << 64).contains(&span));
+            ((u128::from(self.next_u64()) * span) >> 64) as u64
+        }
+    }
+
+    /// FNV-1a over a string, used to derive per-test seeds.
+    #[must_use]
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the case-level error protocol.
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered) case.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and the combinators our tests use.
+
+    use crate::rng::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf, and `branch`
+        /// wraps the current strategy into one more level of nesting.
+        /// The recursion is unrolled `depth` times, which bounds the
+        /// generated tree depth the same way real proptest's budget
+        /// does; `_desired_size` and `_expected_branch_size` only shape
+        /// probabilities upstream and are accepted for API parity.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = branch(s).boxed();
+            }
+            s
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A weighted choice between strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(u128::from(self.total));
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed to total")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u128;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let span = (<$t>::MAX as i128 - lo) as u128 + 1;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let lo = *self.start() as i128;
+                    let span = (*self.end() as i128 - lo) as u128 + 1;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types our tests draw.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over the full domain of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `vec(element, size)` collection strategy.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Inclusive-low, exclusive-high length bounds.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u128;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Uniform selection from a fixed set.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len() as u128) as usize;
+            self.0[i].clone()
+        }
+    }
+
+    /// Uniformly selects one of `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case (returning from the generated closure) when
+/// the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Skips the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard test that draws `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::seed($crate::rng::fnv1a(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                )));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&{ $strat }, &mut __rng);
+                    )+
+                    let __result = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!("proptest case {} failed: {}", __case, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_unions_stay_in_bounds() {
+        let mut rng = crate::rng::TestRng::seed(1);
+        let s = prop_oneof![3 => 0u8..4, 1 => Just(9u8)];
+        let mut nines = 0;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!(v < 4 || v == 9);
+            nines += u32::from(v == 9);
+        }
+        // Roughly a quarter of draws take the weight-1 arm.
+        assert!((150..350).contains(&nines), "got {nines}");
+    }
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut rng = crate::rng::TestRng::seed(2);
+        for _ in 0..100 {
+            assert_eq!(
+                crate::collection::vec(any::<u32>(), 32)
+                    .generate(&mut rng)
+                    .len(),
+                32
+            );
+            let n = crate::collection::vec(any::<bool>(), 1..5)
+                .generate(&mut rng)
+                .len();
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                // Touch the payload so the variant field counts as used.
+                Tree::Leaf(v) => {
+                    let _ = v;
+                    1
+                }
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..16)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop_oneof![
+                    (0u8..16).prop_map(Tree::Leaf),
+                    crate::collection::vec(inner, 1..3).prop_map(Tree::Node),
+                ]
+            });
+        let mut rng = crate::rng::TestRng::seed(3);
+        for _ in 0..200 {
+            assert!(depth(&s.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn the_macro_itself_works(x in 1u32..100, flag in any::<bool>()) {
+            prop_assume!(x != 55);
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(flag as u32 <= 1, true, "flag was {}", flag);
+        }
+    }
+}

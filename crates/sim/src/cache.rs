@@ -52,7 +52,9 @@ impl Cache {
         assert!(size_bytes > 0 && ways > 0 && line_bytes > 0);
         let lines_total = size_bytes / line_bytes;
         assert!(
-            size_bytes.is_multiple_of(line_bytes) && lines_total >= ways && lines_total.is_multiple_of(ways),
+            size_bytes.is_multiple_of(line_bytes)
+                && lines_total >= ways
+                && lines_total.is_multiple_of(ways),
             "cache geometry must divide evenly"
         );
         let sets = lines_total / ways;

@@ -100,7 +100,7 @@ mod tests {
         assert_eq!(eval_alu(AluOp::IAdd, 3, 4, 0), 7);
         assert_eq!(eval_alu(AluOp::IAdd, u32::MAX, 1, 0), 0); // wraps
         assert_eq!(eval_alu(AluOp::ISub, 3, 5, 0), (-2i32) as u32);
-        assert_eq!(eval_alu(AluOp::IMad, 3, 4, 5, ), 17);
+        assert_eq!(eval_alu(AluOp::IMad, 3, 4, 5,), 17);
         assert_eq!(eval_alu(AluOp::IMin, (-2i32) as u32, 1, 0), (-2i32) as u32);
         assert_eq!(eval_alu(AluOp::IMax, (-2i32) as u32, 1, 0), 1);
         assert_eq!(eval_alu(AluOp::IAbs, (-9i32) as u32, 0, 0), 9);
@@ -110,10 +110,7 @@ mod tests {
     fn division_edge_cases() {
         assert_eq!(eval_alu(AluOp::IDiv, 10, 3, 0), 3);
         assert_eq!(eval_alu(AluOp::IDiv, 10, 0, 0), 0);
-        assert_eq!(
-            eval_alu(AluOp::IDiv, (-10i32) as u32, 3, 0),
-            (-3i32) as u32
-        );
+        assert_eq!(eval_alu(AluOp::IDiv, (-10i32) as u32, 3, 0), (-3i32) as u32);
         // i32::MIN / -1 must not trap.
         assert_eq!(
             eval_alu(AluOp::IDiv, i32::MIN as u32, (-1i32) as u32, 0),
@@ -125,10 +122,7 @@ mod tests {
     fn shifts_mask_their_amount() {
         assert_eq!(eval_alu(AluOp::Shl, 1, 33, 0), 2);
         assert_eq!(eval_alu(AluOp::Shr, 0x8000_0000, 31, 0), 1);
-        assert_eq!(
-            eval_alu(AluOp::Sra, 0x8000_0000, 31, 0),
-            0xFFFF_FFFF
-        );
+        assert_eq!(eval_alu(AluOp::Sra, 0x8000_0000, 31, 0), 0xFFFF_FFFF);
     }
 
     #[test]
@@ -144,7 +138,10 @@ mod tests {
 
     #[test]
     fn conversions() {
-        assert_eq!(f32::from_bits(eval_alu(AluOp::I2F, (-3i32) as u32, 0, 0)), -3.0);
+        assert_eq!(
+            f32::from_bits(eval_alu(AluOp::I2F, (-3i32) as u32, 0, 0)),
+            -3.0
+        );
         assert_eq!(eval_alu(AluOp::F2I, 2.9f32.to_bits(), 0, 0), 2);
         assert_eq!(
             eval_alu(AluOp::F2I, (-2.9f32).to_bits(), 0, 0),
@@ -175,8 +172,18 @@ mod tests {
     #[test]
     fn comparisons_int_and_float() {
         assert!(eval_cmp(CmpOp::Lt, false, (-1i32) as u32, 0));
-        assert!(!eval_cmp(CmpOp::Lt, true, (-1.0f32).to_bits(), f32::NAN.to_bits()));
-        assert!(eval_cmp(CmpOp::Ne, true, 1.0f32.to_bits(), 2.0f32.to_bits()));
+        assert!(!eval_cmp(
+            CmpOp::Lt,
+            true,
+            (-1.0f32).to_bits(),
+            f32::NAN.to_bits()
+        ));
+        assert!(eval_cmp(
+            CmpOp::Ne,
+            true,
+            1.0f32.to_bits(),
+            2.0f32.to_bits()
+        ));
         assert!(eval_cmp(CmpOp::Ge, false, 5, 5));
         // NaN compares false for everything except Ne.
         let nan = f32::NAN.to_bits();

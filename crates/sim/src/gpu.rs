@@ -1,6 +1,7 @@
 //! The full GPU: SMs, the CTA scheduler, and the run loop.
 
 use gscalar_isa::{Dim3, Kernel, LaunchConfig};
+use gscalar_trace::{TraceEvent, Tracer};
 
 use crate::config::{ArchConfig, GpuConfig};
 use crate::memory::GlobalMemory;
@@ -65,6 +66,27 @@ impl Gpu {
     /// Panics if a CTA cannot fit on an empty SM (CTA too large for the
     /// configuration) or the watchdog trips.
     pub fn run(&mut self, kernel: &Kernel, launch: LaunchConfig, gmem: &mut GlobalMemory) -> Stats {
+        self.run_traced(kernel, launch, gmem, &mut Tracer::off(), 0)
+    }
+
+    /// [`Gpu::run`] with cycle-level tracing: events are emitted into
+    /// `tracer`, and when `snapshot_interval > 0` a
+    /// [`TraceEvent::Snapshot`] with cumulative per-SM counters is
+    /// emitted each time the clock crosses a multiple of the interval
+    /// (idle-skip jumps emit one snapshot at the latest boundary
+    /// crossed).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Gpu::run`].
+    pub fn run_traced(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        gmem: &mut GlobalMemory,
+        tracer: &mut Tracer<'_>,
+        snapshot_interval: u64,
+    ) -> Stats {
         let mut memsys = MemSystem::new(&self.cfg);
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
             .map(|i| Sm::new(i, &self.cfg, &self.arch, kernel.num_regs() as usize))
@@ -103,11 +125,12 @@ impl Gpu {
         );
 
         let mut now: u64 = 0;
+        let mut last_snapshot: u64 = 0;
         while ctas_done < total_ctas {
             let mut any_activity = false;
             for sm in &mut sms {
                 let before = sm.stats.pipe.issued + sm.stats.pipe.oc_allocs;
-                let completed = sm.cycle(now, kernel, gmem, &mut memsys);
+                let completed = sm.cycle(now, kernel, gmem, &mut memsys, tracer);
                 if completed > 0 {
                     ctas_done += completed as u64;
                     // Refill this SM.
@@ -148,6 +171,27 @@ impl Gpu {
                     })
                     .min();
                 now = next.map_or(now + 1, |t| t.max(now + 1));
+            }
+            // Interval metrics: cumulative per-SM counters at each
+            // boundary crossing. Idle-skip jumps may pass several
+            // boundaries at once; one snapshot at the latest suffices
+            // since the counters are cumulative.
+            if snapshot_interval > 0 && tracer.is_on() {
+                let boundary = now / snapshot_interval * snapshot_interval;
+                if boundary > last_snapshot {
+                    last_snapshot = boundary;
+                    for (i, sm) in sms.iter().enumerate() {
+                        let s = &sm.stats;
+                        tracer.emit_with(boundary, || TraceEvent::Snapshot {
+                            sm: i as u32,
+                            issued: s.pipe.issued,
+                            scalar: s.instr.executed_scalar,
+                            rf_bytes_compressed: s.rf.ours_bytes,
+                            rf_bytes_uncompressed: s.rf.raw_bytes,
+                            rf_activations: s.rf.ours_arrays,
+                        });
+                    }
+                }
             }
             assert!(now < WATCHDOG_CYCLES, "simulation watchdog tripped");
         }

@@ -101,7 +101,9 @@ impl GlobalMemory {
     /// Bulk-reads `n` `u32`s starting at `addr`.
     #[must_use]
     pub fn read_u32_slice(&self, addr: u64, n: usize) -> Vec<u32> {
-        (0..n).map(|i| self.read_u32(addr + (i as u64) * 4)).collect()
+        (0..n)
+            .map(|i| self.read_u32(addr + (i as u64) * 4))
+            .collect()
     }
 
     /// Number of resident (touched) pages.
@@ -114,7 +116,12 @@ impl GlobalMemory {
     /// when all bytes match (untouched pages compare as zero).
     #[must_use]
     pub fn first_difference(&self, other: &GlobalMemory) -> Option<u64> {
-        let mut pages: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
         pages.sort_unstable();
         pages.dedup();
         const ZERO: [u8; PAGE_BYTES] = [0u8; PAGE_BYTES];
@@ -122,7 +129,11 @@ impl GlobalMemory {
             let a = self.pages.get(&p).map_or(&ZERO, |b| &**b);
             let b = other.pages.get(&p).map_or(&ZERO, |b| &**b);
             if a != b {
-                let off = a.iter().zip(b.iter()).position(|(x, y)| x != y).expect("pages differ");
+                let off = a
+                    .iter()
+                    .zip(b.iter())
+                    .position(|(x, y)| x != y)
+                    .expect("pages differ");
                 return Some((p << PAGE_SHIFT) + off as u64);
             }
         }

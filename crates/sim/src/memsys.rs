@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use gscalar_trace::{MemLevel, TraceEvent, Tracer};
+
 use crate::cache::{Cache, CacheOutcome};
 use crate::config::GpuConfig;
 use crate::stats::MemStats;
@@ -74,12 +76,47 @@ impl MemSystem {
         now: u64,
         stats: &mut MemStats,
     ) -> u64 {
+        self.access_classified(sm, addr, store, now, stats).0
+    }
+
+    /// [`MemSystem::access`] that also emits a [`TraceEvent::Mem`]
+    /// describing where the transaction was resolved.
+    pub fn access_traced(
+        &mut self,
+        sm: usize,
+        addr: u64,
+        store: bool,
+        now: u64,
+        stats: &mut MemStats,
+        tracer: &mut Tracer<'_>,
+    ) -> u64 {
+        let (done, level) = self.access_classified(sm, addr, store, now, stats);
+        tracer.emit_with(now, || TraceEvent::Mem {
+            sm: sm as u32,
+            addr,
+            store,
+            level,
+            done,
+        });
+        done
+    }
+
+    /// The timing model behind [`MemSystem::access`], additionally
+    /// classifying which hierarchy level resolved the request.
+    fn access_classified(
+        &mut self,
+        sm: usize,
+        addr: u64,
+        store: bool,
+        now: u64,
+        stats: &mut MemStats,
+    ) -> (u64, MemLevel) {
         stats.global_accesses += 1;
         let line = addr / self.line_bytes * self.line_bytes;
         if store {
             // Write-through: update L2 timing/occupancy, return quickly.
-            self.l2_access(sm, line, now, stats, true);
-            return now + self.l1_hit_lat;
+            let (_, level) = self.l2_access(sm, line, now, stats, true);
+            return (now + self.l1_hit_lat, level);
         }
         // MSHR merge: an outstanding fill for this line absorbs the new
         // request (the L1 tag is already allocated, but data arrives
@@ -88,20 +125,20 @@ impl MemSystem {
             if ready > now {
                 stats.l1_misses += 1;
                 self.l1[sm].access(line, now, true);
-                return ready;
+                return (ready, MemLevel::MshrMerge);
             }
         }
         match self.l1[sm].access(line, now, true) {
             CacheOutcome::Hit => {
                 stats.l1_hits += 1;
-                now + self.l1_hit_lat
+                (now + self.l1_hit_lat, MemLevel::L1Hit)
             }
             CacheOutcome::Miss => {
                 stats.l1_misses += 1;
-                let ready = self.l2_access(sm, line, now, stats, false);
+                let (ready, level) = self.l2_access(sm, line, now, stats, false);
                 self.mshr[sm].retain(|_, &mut t| t > now);
                 self.mshr[sm].insert(line, ready);
-                ready
+                (ready, level)
             }
         }
     }
@@ -113,7 +150,7 @@ impl MemSystem {
         now: u64,
         stats: &mut MemStats,
         store: bool,
-    ) -> u64 {
+    ) -> (u64, MemLevel) {
         let p = self.partition_of(line);
         stats.noc_flits += 2; // request + response line transfer
         let start = now.max(self.l2_free[p]);
@@ -121,7 +158,7 @@ impl MemSystem {
         match self.l2[p].access(line, now, true) {
             CacheOutcome::Hit => {
                 stats.l2_hits += 1;
-                start + self.l2_lat
+                (start + self.l2_lat, MemLevel::L2Hit)
             }
             CacheOutcome::Miss => {
                 stats.l2_misses += 1;
@@ -130,11 +167,11 @@ impl MemSystem {
                     // by the write buffer.
                     let s = start.max(self.chan_free[p]);
                     self.chan_free[p] = s + self.dram_service;
-                    start + self.l2_lat
+                    (start + self.l2_lat, MemLevel::Dram)
                 } else {
                     let s = (start + self.l2_lat).max(self.chan_free[p]);
                     self.chan_free[p] = s + self.dram_service;
-                    s + self.dram_lat
+                    (s + self.dram_lat, MemLevel::Dram)
                 }
             }
         }
@@ -220,6 +257,30 @@ mod tests {
         assert!(times.windows(2).all(|w| w[1] > w[0]));
         assert!(times[7] - times[0] >= 7 * 8);
         assert_eq!(s.l2_misses, 8);
+    }
+
+    #[test]
+    fn traced_access_classifies_levels() {
+        let (mut m, mut s) = sys();
+        let mut buf = gscalar_trace::EventBuf::new(16);
+        let mut t = Tracer::new(&mut buf);
+        let cold = m.access_traced(0, 0x5000, false, 0, &mut s, &mut t);
+        m.access_traced(0, 0x5000, false, cold + 1, &mut s, &mut t);
+        m.access_traced(0, 0x5010, false, 1, &mut s, &mut t); // MSHR merge
+        let levels: Vec<MemLevel> = buf
+            .records()
+            .iter()
+            .map(|r| match r.ev {
+                TraceEvent::Mem { level, .. } => level,
+                ref other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            levels,
+            vec![MemLevel::Dram, MemLevel::L1Hit, MemLevel::MshrMerge]
+        );
+        // The traced variant and the plain one share the timing model.
+        assert_eq!(s.global_accesses, 3);
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl<T> Pipe<T> {
     pub fn dispatch(&mut self, now: u64, occupancy: u64, latency: u64, payload: T) {
         assert!(self.can_dispatch(now), "dispatch port busy");
         self.dispatch_free_at = now + occupancy.max(1);
-        self.inflight.push((now + occupancy.max(1) + latency, payload));
+        self.inflight
+            .push((now + occupancy.max(1) + latency, payload));
     }
 
     /// Registers an externally-timed completion (memory instructions,

@@ -236,7 +236,12 @@ mod tests {
 
     /// Differential check: the SIMT simulator and the per-thread
     /// reference must leave identical memory.
-    fn assert_matches(kernel: &Kernel, launch: LaunchConfig, init: &GlobalMemory, region: (u64, usize)) {
+    fn assert_matches(
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        init: &GlobalMemory,
+        region: (u64, usize),
+    ) {
         let mut ref_mem = init.clone();
         run_reference(kernel, launch, &mut ref_mem);
         let mut sim_mem = init.clone();
@@ -279,7 +284,12 @@ mod tests {
         b.st_global(addr, acc, 0);
         b.exit();
         let k = b.build().unwrap();
-        assert_matches(&k, LaunchConfig::linear(2, 64), &GlobalMemory::new(), (out as u64, 128));
+        assert_matches(
+            &k,
+            LaunchConfig::linear(2, 64),
+            &GlobalMemory::new(),
+            (out as u64, 128),
+        );
     }
 
     #[test]
@@ -299,7 +309,12 @@ mod tests {
         b.st_global(addr, got, 0);
         b.exit();
         let k = b.build().unwrap();
-        assert_matches(&k, LaunchConfig::linear(1, 128), &GlobalMemory::new(), (out as u64, 128));
+        assert_matches(
+            &k,
+            LaunchConfig::linear(1, 128),
+            &GlobalMemory::new(),
+            (out as u64, 128),
+        );
     }
 
     #[test]

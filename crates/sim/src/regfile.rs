@@ -89,6 +89,18 @@ pub struct ArbResult {
     pub data_conflicts: u64,
     /// Scalar-RF reads deferred because the single port was taken.
     pub scalar_serializations: u64,
+    /// BVR reads deferred because the bank's BVR port was taken.
+    pub bvr_conflicts: u64,
+}
+
+impl ArbResult {
+    /// Whether any read lost arbitration this cycle (used by stall
+    /// accounting to refine collector-full stalls into bank-conflict
+    /// stalls).
+    #[must_use]
+    pub fn any_conflict(&self) -> bool {
+        self.data_conflicts + self.scalar_serializations + self.bvr_conflicts > 0
+    }
 }
 
 /// The operand-collector array with bank arbitration.
@@ -183,7 +195,9 @@ impl<T> OperandCollectors<T> {
                         }
                     }
                     PortKind::Bvr => {
-                        if !bvr_busy[r.bank] {
+                        if bvr_busy[r.bank] {
+                            res.bvr_conflicts += 1;
+                        } else {
                             bvr_busy[r.bank] = true;
                             r.done = true;
                             res.grants += 1;
@@ -319,9 +333,11 @@ mod tests {
             payload: 2,
             reads: vec![ReadReq::bvr(0)],
         });
-        oc.arbitrate(&[]);
+        let r = oc.arbitrate(&[]);
         // Entry 1 completes (banks 0 and 1); entry 2's bank-0 BVR read
         // lost arbitration this cycle.
+        assert_eq!(r.bvr_conflicts, 1);
+        assert!(r.any_conflict());
         assert_eq!(oc.take_ready(), vec![1]);
         oc.arbitrate(&[]);
         assert_eq!(oc.take_ready(), vec![2]);
@@ -353,9 +369,18 @@ mod tests {
     #[test]
     fn take_ready_when_applies_backpressure() {
         let mut oc: OperandCollectors<u32> = OperandCollectors::new(4, 16);
-        oc.insert(OcEntry { payload: 1, reads: vec![] });
-        oc.insert(OcEntry { payload: 2, reads: vec![] });
-        oc.insert(OcEntry { payload: 3, reads: vec![] });
+        oc.insert(OcEntry {
+            payload: 1,
+            reads: vec![],
+        });
+        oc.insert(OcEntry {
+            payload: 2,
+            reads: vec![],
+        });
+        oc.insert(OcEntry {
+            payload: 3,
+            reads: vec![],
+        });
         // Accept at most two.
         let mut budget = 2;
         let taken = oc.take_ready_when(|_| {

@@ -1,9 +1,20 @@
 //! Per-warp scoreboard tracking in-flight register writes.
 
-use gscalar_isa::{Instr, Pred, Reg};
+use gscalar_isa::{FuncUnit, Instr, Pred, Reg};
 
 /// Release time meaning "in flight, completion not yet known".
 const PENDING: u64 = u64::MAX;
+
+/// One outstanding register write: who owns it and when it releases.
+#[derive(Debug, Clone, Copy)]
+struct RegEntry {
+    reg: Reg,
+    release: u64,
+    /// Whether the producing instruction is a load (memory latency) —
+    /// used by stall accounting to separate memory-pending stalls from
+    /// plain data-dependency stalls.
+    is_mem: bool,
+}
 
 /// A scoreboard for one warp: registers and predicates with writes in
 /// flight may not be read (RAW) or re-written (WAW) until released.
@@ -13,7 +24,7 @@ const PENDING: u64 = u64::MAX;
 /// G-Scalar +3-cycle compression latency when enabled).
 #[derive(Debug, Clone, Default)]
 pub struct Scoreboard {
-    regs: Vec<(Reg, u64)>,
+    regs: Vec<RegEntry>,
     preds: Vec<(Pred, u64)>,
 }
 
@@ -27,35 +38,60 @@ impl Scoreboard {
     /// Whether `instr` may issue at `now` (no RAW/WAW hazards).
     #[must_use]
     pub fn can_issue(&self, instr: &Instr, now: u64) -> bool {
-        let busy_reg = |r: Reg| {
-            self.regs
-                .iter()
-                .any(|&(br, t)| br == r && t > now)
+        self.blocking_is_mem(instr, now).is_none()
+    }
+
+    /// If `instr` cannot issue at `now`, reports whether *any* blocking
+    /// entry is owned by a memory instruction (`Some(true)`) or all
+    /// blockers are ALU/SFU data dependencies (`Some(false)`); `None`
+    /// when `instr` is free to issue. Drives the stall taxonomy's
+    /// memory-pending vs. scoreboard split.
+    #[must_use]
+    pub fn blocking_is_mem(&self, instr: &Instr, now: u64) -> Option<bool> {
+        let mut blocked = false;
+        let mut mem = false;
+        {
+            let mut check_reg = |r: Reg| {
+                for e in &self.regs {
+                    if e.reg == r && e.release > now {
+                        blocked = true;
+                        mem |= e.is_mem;
+                    }
+                }
+            };
+            for &r in instr.src_regs().iter() {
+                check_reg(r);
+            }
+            if let Some(r) = instr.dst_reg() {
+                check_reg(r);
+            }
+        }
+        let mut check_pred = |p: Pred| {
+            if self.preds.iter().any(|&(bp, t)| bp == p && t > now) {
+                blocked = true;
+            }
         };
-        let busy_pred = |p: Pred| {
-            self.preds
-                .iter()
-                .any(|&(bp, t)| bp == p && t > now)
-        };
-        if instr.src_regs().iter().any(|&r| busy_reg(r)) {
-            return false;
+        for &p in instr.src_preds().iter() {
+            check_pred(p);
         }
-        if instr.src_preds().iter().any(|&p| busy_pred(p)) {
-            return false;
+        if let Some(p) = instr.dst_pred() {
+            check_pred(p);
         }
-        if instr.dst_reg().is_some_and(busy_reg) {
-            return false;
+        if blocked {
+            Some(mem)
+        } else {
+            None
         }
-        if instr.dst_pred().is_some_and(busy_pred) {
-            return false;
-        }
-        true
     }
 
     /// Reserves `instr`'s destinations at issue.
     pub fn reserve(&mut self, instr: &Instr) {
         if let Some(r) = instr.dst_reg() {
-            self.regs.push((r, PENDING));
+            self.regs.push(RegEntry {
+                reg: r,
+                release: PENDING,
+                is_mem: instr.func_unit() == FuncUnit::Mem,
+            });
         }
         if let Some(p) = instr.dst_pred() {
             self.preds.push((p, PENDING));
@@ -69,9 +105,9 @@ impl Scoreboard {
             if let Some(e) = self
                 .regs
                 .iter_mut()
-                .find(|(br, t)| *br == r && *t == PENDING)
+                .find(|e| e.reg == r && e.release == PENDING)
             {
-                e.1 = at;
+                e.release = at;
             }
         }
         if let Some(p) = instr.dst_pred() {
@@ -87,7 +123,7 @@ impl Scoreboard {
 
     /// Drops entries whose release time has passed.
     pub fn expire(&mut self, now: u64) {
-        self.regs.retain(|&(_, t)| t > now);
+        self.regs.retain(|e| e.release > now);
         self.preds.retain(|&(_, t)| t > now);
     }
 
@@ -162,6 +198,31 @@ mod tests {
     }
 
     #[test]
+    fn blocking_kind_distinguishes_memory_producers() {
+        let mut sb = Scoreboard::new();
+        let load = Instr::always(InstrKind::Ld {
+            space: gscalar_isa::Space::Global,
+            dst: Reg::new(1),
+            addr: Reg::new(2),
+            offset: 0,
+        });
+        sb.reserve(&load);
+        let consumer = add(4, 1, 5);
+        assert_eq!(sb.blocking_is_mem(&consumer, 0), Some(true));
+        assert!(!sb.can_issue(&consumer, 0));
+        // An ALU producer over a different register reports non-mem.
+        let alu = add(6, 2, 3);
+        sb.reserve(&alu);
+        let alu_consumer = add(7, 6, 5);
+        assert_eq!(sb.blocking_is_mem(&alu_consumer, 0), Some(false));
+        // Blocked by both: memory wins the classification.
+        let both = add(8, 1, 6);
+        assert_eq!(sb.blocking_is_mem(&both, 0), Some(true));
+        // Unblocked instruction reports None.
+        assert_eq!(sb.blocking_is_mem(&add(9, 10, 11), 0), None);
+    }
+
+    #[test]
     fn duplicate_writers_release_independently() {
         let mut sb = Scoreboard::new();
         let w = add(1, 2, 3);
@@ -169,7 +230,10 @@ mod tests {
         sb.reserve(&w); // second in-flight write to R1 (blocked in
                         // practice by WAW, but the structure must cope)
         sb.release_at(&w, 5);
-        assert!(!sb.can_issue(&add(4, 1, 5), 6), "second write still pending");
+        assert!(
+            !sb.can_issue(&add(4, 1, 5), 6),
+            "second write still pending"
+        );
         sb.release_at(&w, 7);
         assert!(sb.can_issue(&add(4, 1, 5), 7));
     }

@@ -115,7 +115,10 @@ impl SimtStack {
             return false;
         }
         let r = reconv.unwrap_or(NO_RECONV);
-        let top = self.entries.last_mut().expect("active lanes imply an entry");
+        let top = self
+            .entries
+            .last_mut()
+            .expect("active lanes imply an entry");
         // The current entry becomes the join continuation.
         top.pc = r;
         self.entries.push(Entry {

@@ -4,6 +4,7 @@
 use gscalar_compress::regmeta::MetaConfig;
 use gscalar_compress::{bdi, bytewise, Encoding, RegFileMeta};
 use gscalar_isa::{AluOp, Dim3, FuncUnit, Instr, InstrKind, Kernel, Operand, Reg, Space};
+use gscalar_trace::{ModeKind, StallReason, TraceEvent, Tracer, UnitKind};
 
 use crate::config::{ArchConfig, GpuConfig};
 use crate::exec;
@@ -27,11 +28,44 @@ pub enum ExecMode {
     Half,
 }
 
+impl ExecMode {
+    fn trace_kind(self) -> ModeKind {
+        match self {
+            ExecMode::Vector => ModeKind::Vector,
+            ExecMode::Scalar => ModeKind::Scalar,
+            ExecMode::Half => ModeKind::Half,
+        }
+    }
+}
+
+/// Trace-vocabulary view of a functional unit.
+fn unit_kind(unit: FuncUnit) -> UnitKind {
+    match unit {
+        FuncUnit::Alu => UnitKind::Alu,
+        FuncUnit::Sfu => UnitKind::Sfu,
+        FuncUnit::Mem => UnitKind::Mem,
+        FuncUnit::Control => UnitKind::Control,
+    }
+}
+
+/// Trace-vocabulary encoding tag for compressor decisions.
+fn encoding_tag(enc: Encoding) -> u8 {
+    match enc {
+        Encoding::Scalar => 0,
+        Encoding::B321 => 1,
+        Encoding::B32 => 2,
+        Encoding::B3 => 3,
+        Encoding::None => 4,
+    }
+}
+
 /// An instruction in flight between issue and writeback.
 #[derive(Debug, Clone)]
 struct Inflight {
     warp: usize,
     instr: Instr,
+    /// PC the instruction was fetched from (trace labeling).
+    pc: usize,
     mask: u64,
     mode: ExecMode,
     unit: FuncUnit,
@@ -107,7 +141,9 @@ impl Sm {
                 .map(|s| Scheduler::new(cfg.sched, per_sched(s)))
                 .collect(),
             oc: OperandCollectors::new(cfg.operand_collectors, cfg.rf_banks),
-            alu_pipes: (0..cfg.alu_pipes).map(|_| Pipe::new(cfg.simt_width)).collect(),
+            alu_pipes: (0..cfg.alu_pipes)
+                .map(|_| Pipe::new(cfg.simt_width))
+                .collect(),
             sfu_pipe: Pipe::new(cfg.sfu_width),
             lsu_pipe: Pipe::new(cfg.simt_width),
             regmeta: RegFileMeta::new(
@@ -231,6 +267,7 @@ impl Sm {
         kernel: &Kernel,
         gmem: &mut GlobalMemory,
         memsys: &mut MemSystem,
+        tracer: &mut Tracer<'_>,
     ) -> usize {
         // 1. Writeback.
         let mut finished: Vec<Inflight> = Vec::new();
@@ -253,11 +290,17 @@ impl Sm {
         let arb = self.oc.arbitrate(&write_banks);
         self.stats.pipe.bank_conflict_cycles += arb.data_conflicts;
         self.stats.pipe.scalar_bank_serializations += arb.scalar_serializations;
+        self.stats.pipe.bvr_conflict_cycles += arb.bvr_conflicts;
+        let rf_conflict = arb.any_conflict();
 
         // 3. Dispatch ready instructions to pipelines, gated by each
         // pipe's dispatch port (structural backpressure: entries that
         // find no port stay in their operand collector).
-        let mut alu_free = self.alu_pipes.iter().filter(|p| p.can_dispatch(now)).count();
+        let mut alu_free = self
+            .alu_pipes
+            .iter()
+            .filter(|p| p.can_dispatch(now))
+            .count();
         let mut sfu_free = usize::from(self.sfu_pipe.can_dispatch(now));
         let mut lsu_free = usize::from(self.lsu_pipe.can_dispatch(now));
         let ready = self.oc.take_ready_when(|inst| {
@@ -275,7 +318,7 @@ impl Sm {
             }
         });
         for inst in ready {
-            self.dispatch(inst, now, memsys);
+            self.dispatch(inst, now, memsys, tracer);
         }
 
         // 4. Issue from each scheduler.
@@ -286,7 +329,7 @@ impl Sm {
         }
         let mut completed_ctas = 0;
         for s in 0..self.schedulers.len() {
-            completed_ctas += self.issue_one(s, now, kernel, gmem);
+            completed_ctas += self.issue_one(s, now, kernel, gmem, rf_conflict, tracer);
         }
         completed_ctas
     }
@@ -300,7 +343,10 @@ impl Sm {
             .iter()
             .filter_map(Pipe::next_completion)
             .min();
-        for c in [self.sfu_pipe.next_completion(), self.lsu_pipe.next_completion()] {
+        for c in [
+            self.sfu_pipe.next_completion(),
+            self.lsu_pipe.next_completion(),
+        ] {
             t = match (t, c) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
@@ -331,6 +377,8 @@ impl Sm {
         now: u64,
         kernel: &Kernel,
         gmem: &mut GlobalMemory,
+        rf_conflict: bool,
+        tracer: &mut Tracer<'_>,
     ) -> usize {
         let oc_free = self.oc.free_slots() > 0;
         let warps = &self.warps;
@@ -350,23 +398,105 @@ impl Sm {
             instr.func_unit() == FuncUnit::Control || oc_free
         });
         let Some(w) = picked else {
+            let (reason, culprit) = self.classify_stall(s, now, kernel, rf_conflict);
             self.stats.pipe.scheduler_idle_cycles += 1;
+            self.stats.pipe.stalls.add(reason);
+            let sm = self.id as u32;
+            tracer.emit_with(now, || TraceEvent::Stall {
+                sm,
+                sched: s as u32,
+                warp: culprit,
+                reason,
+            });
             return 0;
         };
         self.stats.pipe.issued += 1;
-        self.execute_instruction(w, now, kernel, gmem)
+        self.execute_instruction(w, s, now, kernel, gmem, tracer)
+    }
+
+    /// Classifies why scheduler `s` issued nothing this cycle, charging
+    /// exactly one [`StallReason`] so the breakdown sums to
+    /// `scheduler_idle_cycles`. Returns the reason and, when one warp
+    /// epitomizes it, that warp's slot index.
+    ///
+    /// Per-warp causes aggregate with back-of-pipe causes first — a
+    /// warp held up by collector/bank pressure points at a structural
+    /// bottleneck even if its siblings also wait on memory:
+    /// collector-full (refined to bank-conflict when this cycle's
+    /// arbitration lost reads) > memory pending > scoreboard > barrier
+    /// > drained.
+    fn classify_stall(
+        &self,
+        s: usize,
+        now: u64,
+        kernel: &Kernel,
+        rf_conflict: bool,
+    ) -> (StallReason, Option<u32>) {
+        let mut barrier: Option<u32> = None;
+        let mut mem: Option<u32> = None;
+        let mut data: Option<u32> = None;
+        let mut no_collector: Option<u32> = None;
+        for &w in self.schedulers[s].warps() {
+            let Some(warp) = self.warps[w].as_ref() else {
+                continue;
+            };
+            if warp.is_done() {
+                continue;
+            }
+            if warp.at_barrier {
+                barrier.get_or_insert(w as u32);
+                continue;
+            }
+            let instr = kernel.instr(warp.simt.pc());
+            match self.scoreboards[w].blocking_is_mem(instr, now) {
+                Some(true) => {
+                    mem.get_or_insert(w as u32);
+                }
+                Some(false) => {
+                    data.get_or_insert(w as u32);
+                }
+                // Issuable by scoreboard rules, so only the collector
+                // gate can have blocked it (control instructions never
+                // reach here: the scheduler would have picked them).
+                None => {
+                    no_collector.get_or_insert(w as u32);
+                }
+            }
+        }
+        if let Some(w) = no_collector {
+            let reason = if rf_conflict {
+                StallReason::RfBankConflict
+            } else {
+                StallReason::NoCollector
+            };
+            (reason, Some(w))
+        } else if let Some(w) = mem {
+            (StallReason::MemPending, Some(w))
+        } else if let Some(w) = data {
+            (StallReason::Scoreboard, Some(w))
+        } else if let Some(w) = barrier {
+            (StallReason::Barrier, Some(w))
+        } else {
+            (StallReason::Drained, None)
+        }
     }
 
     /// Issues (and functionally executes) the instruction at warp `w`'s
-    /// PC. Returns completed CTAs.
+    /// PC, picked by scheduler `s`. Returns completed CTAs.
     fn execute_instruction(
         &mut self,
         w: usize,
+        s: usize,
         now: u64,
         kernel: &Kernel,
         gmem: &mut GlobalMemory,
+        tracer: &mut Tracer<'_>,
     ) -> usize {
-        let pc = self.warps[w].as_ref().expect("picked warp exists").simt.pc();
+        let pc = self.warps[w]
+            .as_ref()
+            .expect("picked warp exists")
+            .simt
+            .pc();
         let instr = *kernel.instr(pc);
         let warp = self.warps[w].as_mut().expect("picked warp exists");
         let path_mask = warp.simt.active();
@@ -396,15 +526,65 @@ impl Sm {
             FuncUnit::Control => self.stats.instr.ctrl_instrs += 1,
         }
 
+        let sm_id = self.id as u32;
+        tracer.emit_with(now, || TraceEvent::Issue {
+            sm: sm_id,
+            sched: s as u32,
+            warp: w as u32,
+            pc: pc as u32,
+            unit: unit_kind(instr.func_unit()),
+            // The vector/scalar decision for non-control instructions
+            // is refined by a later ExecSpan event.
+            mode: ModeKind::Vector,
+            mask,
+        });
+
         // Control flow resolves at issue.
         match instr.kind {
             InstrKind::Bra { target } => {
                 let reconv = kernel.reconvergence_pc(pc);
-                warp.simt.branch(mask, target, pc + 1, reconv);
+                let depth_before = warp.simt.depth();
+                let diverged = warp.simt.branch(mask, target, pc + 1, reconv);
+                if tracer.is_on() && !warp.simt.is_done() {
+                    let depth = warp.simt.depth() as u32;
+                    let next_pc = warp.simt.pc() as u32;
+                    if diverged {
+                        let taken = mask;
+                        let not_taken = path_mask & !mask;
+                        tracer.emit_with(now, || TraceEvent::SimtPush {
+                            sm: sm_id,
+                            warp: w as u32,
+                            pc: pc as u32,
+                            taken,
+                            not_taken,
+                            depth,
+                        });
+                    } else if (depth as usize) < depth_before {
+                        tracer.emit_with(now, || TraceEvent::SimtPop {
+                            sm: sm_id,
+                            warp: w as u32,
+                            pc: next_pc,
+                            depth,
+                        });
+                    }
+                }
                 return 0;
             }
             InstrKind::Exit => {
+                let depth_before = warp.simt.depth();
                 warp.simt.exit();
+                if tracer.is_on() && !warp.simt.is_done() {
+                    let depth = warp.simt.depth() as u32;
+                    let next_pc = warp.simt.pc() as u32;
+                    if (depth as usize) < depth_before {
+                        tracer.emit_with(now, || TraceEvent::SimtPop {
+                            sm: sm_id,
+                            warp: w as u32,
+                            pc: next_pc,
+                            depth,
+                        });
+                    }
+                }
                 if warp.is_done() {
                     return self.retire_warp(w);
                 }
@@ -654,8 +834,7 @@ impl Sm {
                                 )
                             })
                             .collect();
-                        let shared =
-                            &mut self.ctas[slot].as_mut().expect("CTA resident").shared;
+                        let shared = &mut self.ctas[slot].as_mut().expect("CTA resident").shared;
                         for (a, v) in values {
                             shared.write_u32(a, v);
                         }
@@ -680,13 +859,28 @@ impl Sm {
                 let winfo = self.regmeta.write(phys, &full_vals, mask);
                 wb_bank = Some(self.bank_of(phys));
                 wb_bvr_only = winfo.stored == Encoding::Scalar && !winfo.divergent;
+                let warp_size = self.cfg.warp_size;
+                tracer.emit_with(now, || TraceEvent::CompressWrite {
+                    sm: sm_id,
+                    warp: w as u32,
+                    reg: u32::from(dst.index()),
+                    encoding: encoding_tag(winfo.enc),
+                    bytes: winfo.enc.compressed_bytes(warp_size) as u32,
+                    uniform: winfo.enc.is_scalar(),
+                });
                 if winfo.decompress_move {
                     // Section 3.3: the compiler-assisted variant elides
                     // the move when the destination's previous value is
                     // provably dead.
-                    if self.arch.compiler_assisted_moves
-                        && !kernel.value_live_after(pc, *dst)
-                    {
+                    let assisted =
+                        self.arch.compiler_assisted_moves && !kernel.value_live_after(pc, *dst);
+                    tracer.emit_with(now, || TraceEvent::Decompress {
+                        sm: sm_id,
+                        warp: w as u32,
+                        pc: pc as u32,
+                        assisted,
+                    });
+                    if assisted {
                         self.stats.instr.decompress_moves_elided += 1;
                     } else {
                         self.stats.instr.decompress_moves += 1;
@@ -715,6 +909,7 @@ impl Sm {
             payload: Inflight {
                 warp: w,
                 instr,
+                pc,
                 mask,
                 mode,
                 unit,
@@ -727,7 +922,6 @@ impl Sm {
             },
             reads,
         });
-        let _ = now;
         0
     }
 
@@ -848,8 +1042,23 @@ impl Sm {
 
     // ---- dispatch ------------------------------------------------------
 
-    fn dispatch(&mut self, inst: Inflight, now: u64, memsys: &mut MemSystem) {
+    fn dispatch(
+        &mut self,
+        inst: Inflight,
+        now: u64,
+        memsys: &mut MemSystem,
+        tracer: &mut Tracer<'_>,
+    ) {
         let threads = self.cfg.warp_size;
+        let sm_id = self.id as u32;
+        let span = |inst: &Inflight, end: u64| TraceEvent::ExecSpan {
+            sm: sm_id,
+            warp: inst.warp as u32,
+            pc: inst.pc as u32,
+            unit: unit_kind(inst.unit),
+            mode: inst.mode.trace_kind(),
+            end,
+        };
         // The paper's design clock-gates lanes during scalar execution
         // but dispatches over the normal number of cycles; the optional
         // fast-dispatch mode models the Section 6 one-cycle opportunity.
@@ -862,6 +1071,7 @@ impl Sm {
                     self.alu_pipes[0].occupancy(threads)
                 };
                 let latency = self.alu_latency(&inst.instr) + inst.extra_latency;
+                tracer.emit_with(now, || span(&inst, now + occupancy.max(1) + latency));
                 let pipe = self
                     .alu_pipes
                     .iter_mut()
@@ -876,6 +1086,7 @@ impl Sm {
                     self.sfu_pipe.occupancy(threads)
                 };
                 let latency = self.cfg.lat.sfu + inst.extra_latency;
+                tracer.emit_with(now, || span(&inst, now + occupancy.max(1) + latency));
                 self.sfu_pipe.dispatch(now, occupancy, latency, inst);
             }
             FuncUnit::Mem => {
@@ -897,10 +1108,18 @@ impl Sm {
                         self.stats.mem.fully_coalesced += 1;
                     }
                     for &line in &inst.mem_lines {
-                        let t = memsys.access(self.id, line, inst.store, now, &mut self.stats.mem);
+                        let t = memsys.access_traced(
+                            self.id,
+                            line,
+                            inst.store,
+                            now,
+                            &mut self.stats.mem,
+                            tracer,
+                        );
                         finish = finish.max(t);
                     }
                 }
+                tracer.emit_with(now, || span(&inst, finish));
                 self.lsu_pipe.complete_at(finish, inst);
             }
             FuncUnit::Control => unreachable!("control never reaches dispatch"),
@@ -920,7 +1139,10 @@ impl Sm {
 
     /// Retires a finished warp; returns completed CTAs (0 or 1).
     fn retire_warp(&mut self, w: usize) -> usize {
-        let slot = self.warps[w].as_ref().expect("retiring warp exists").cta_slot;
+        let slot = self.warps[w]
+            .as_ref()
+            .expect("retiring warp exists")
+            .cta_slot;
         self.warps[w] = None;
         let cta = self.ctas[slot].as_mut().expect("warp's CTA resident");
         cta.warps_done += 1;

@@ -1,6 +1,7 @@
 //! Simulation statistics: everything the paper's figures are built from.
 
 use gscalar_compress::EncodingHistogram;
+use gscalar_trace::StallBreakdown;
 
 /// Scalar-execution eligibility classes, matching the cumulative
 /// categories of Figure 9.
@@ -205,6 +206,12 @@ pub struct PipeStats {
     /// Reads serialized on the dedicated scalar RF bank (prior-work
     /// architecture, the Section 4.1 bottleneck).
     pub scalar_bank_serializations: u64,
+    /// Same-bank BVR read requests deferred to a later cycle.
+    pub bvr_conflict_cycles: u64,
+    /// Per-reason classification of `scheduler_idle_cycles`; the
+    /// simulator charges exactly one reason per idle scheduler-cycle,
+    /// so `stalls.total() == scheduler_idle_cycles` always holds.
+    pub stalls: StallBreakdown,
 }
 
 /// Complete statistics for one simulated kernel run.
@@ -256,69 +263,146 @@ impl Stats {
     }
 
     /// Merges another run's statistics (used to aggregate across SMs).
+    ///
+    /// Every sub-struct is exhaustively destructured (no `..` rest
+    /// patterns), so adding a counter field without deciding how it
+    /// merges is a compile error — not a silently dropped statistic.
     pub fn merge(&mut self, o: &Stats) {
-        self.cycles = self.cycles.max(o.cycles);
+        let Stats {
+            cycles,
+            instr,
+            rf,
+            exec,
+            mem,
+            pipe,
+        } = o;
+        self.cycles = self.cycles.max(*cycles);
+
+        let InstrStats {
+            warp_instrs,
+            thread_instrs,
+            alu_instrs,
+            sfu_instrs,
+            mem_instrs,
+            ctrl_instrs,
+            divergent_instrs,
+            eligible_alu,
+            eligible_sfu,
+            eligible_mem,
+            eligible_half,
+            eligible_divergent,
+            executed_scalar,
+            executed_half,
+            decompress_moves,
+            decompress_moves_elided,
+        } = instr;
         let i = &mut self.instr;
-        let oi = &o.instr;
-        i.warp_instrs += oi.warp_instrs;
-        i.thread_instrs += oi.thread_instrs;
-        i.alu_instrs += oi.alu_instrs;
-        i.sfu_instrs += oi.sfu_instrs;
-        i.mem_instrs += oi.mem_instrs;
-        i.ctrl_instrs += oi.ctrl_instrs;
-        i.divergent_instrs += oi.divergent_instrs;
-        i.eligible_alu += oi.eligible_alu;
-        i.eligible_sfu += oi.eligible_sfu;
-        i.eligible_mem += oi.eligible_mem;
-        i.eligible_half += oi.eligible_half;
-        i.eligible_divergent += oi.eligible_divergent;
-        i.executed_scalar += oi.executed_scalar;
-        i.executed_half += oi.executed_half;
-        i.decompress_moves += oi.decompress_moves;
-        i.decompress_moves_elided += oi.decompress_moves_elided;
+        i.warp_instrs += warp_instrs;
+        i.thread_instrs += thread_instrs;
+        i.alu_instrs += alu_instrs;
+        i.sfu_instrs += sfu_instrs;
+        i.mem_instrs += mem_instrs;
+        i.ctrl_instrs += ctrl_instrs;
+        i.divergent_instrs += divergent_instrs;
+        i.eligible_alu += eligible_alu;
+        i.eligible_sfu += eligible_sfu;
+        i.eligible_mem += eligible_mem;
+        i.eligible_half += eligible_half;
+        i.eligible_divergent += eligible_divergent;
+        i.executed_scalar += executed_scalar;
+        i.executed_half += executed_half;
+        i.decompress_moves += decompress_moves;
+        i.decompress_moves_elided += decompress_moves_elided;
+
+        let RfStats {
+            reads,
+            writes,
+            baseline_arrays,
+            ours_arrays,
+            ours_bvr,
+            bdi_arrays,
+            scalar_rf_small,
+            scalar_rf_arrays,
+            xbar_bytes_baseline,
+            xbar_bytes_ours,
+            compressor_ops,
+            decompressor_ops,
+            raw_bytes,
+            ours_bytes,
+            bdi_bytes,
+            histogram,
+        } = rf;
         let r = &mut self.rf;
-        let or = &o.rf;
-        r.reads += or.reads;
-        r.writes += or.writes;
-        r.baseline_arrays += or.baseline_arrays;
-        r.ours_arrays += or.ours_arrays;
-        r.ours_bvr += or.ours_bvr;
-        r.bdi_arrays += or.bdi_arrays;
-        r.scalar_rf_small += or.scalar_rf_small;
-        r.scalar_rf_arrays += or.scalar_rf_arrays;
-        r.xbar_bytes_baseline += or.xbar_bytes_baseline;
-        r.xbar_bytes_ours += or.xbar_bytes_ours;
-        r.compressor_ops += or.compressor_ops;
-        r.decompressor_ops += or.decompressor_ops;
-        r.raw_bytes += or.raw_bytes;
-        r.ours_bytes += or.ours_bytes;
-        r.bdi_bytes += or.bdi_bytes;
-        r.histogram.merge(&or.histogram);
+        r.reads += reads;
+        r.writes += writes;
+        r.baseline_arrays += baseline_arrays;
+        r.ours_arrays += ours_arrays;
+        r.ours_bvr += ours_bvr;
+        r.bdi_arrays += bdi_arrays;
+        r.scalar_rf_small += scalar_rf_small;
+        r.scalar_rf_arrays += scalar_rf_arrays;
+        r.xbar_bytes_baseline += xbar_bytes_baseline;
+        r.xbar_bytes_ours += xbar_bytes_ours;
+        r.compressor_ops += compressor_ops;
+        r.decompressor_ops += decompressor_ops;
+        r.raw_bytes += raw_bytes;
+        r.ours_bytes += ours_bytes;
+        r.bdi_bytes += bdi_bytes;
+        r.histogram.merge(histogram);
+
+        let ExecStats {
+            int_lane_ops,
+            fp_lane_ops,
+            sfu_lane_ops,
+            int_lane_ops_saved,
+            fp_lane_ops_saved,
+            sfu_lane_ops_saved,
+        } = exec;
         let e = &mut self.exec;
-        let oe = &o.exec;
-        e.int_lane_ops += oe.int_lane_ops;
-        e.fp_lane_ops += oe.fp_lane_ops;
-        e.sfu_lane_ops += oe.sfu_lane_ops;
-        e.int_lane_ops_saved += oe.int_lane_ops_saved;
-        e.fp_lane_ops_saved += oe.fp_lane_ops_saved;
-        e.sfu_lane_ops_saved += oe.sfu_lane_ops_saved;
+        e.int_lane_ops += int_lane_ops;
+        e.fp_lane_ops += fp_lane_ops;
+        e.sfu_lane_ops += sfu_lane_ops;
+        e.int_lane_ops_saved += int_lane_ops_saved;
+        e.fp_lane_ops_saved += fp_lane_ops_saved;
+        e.sfu_lane_ops_saved += sfu_lane_ops_saved;
+
+        let MemStats {
+            global_accesses,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            shared_accesses,
+            noc_flits,
+            fully_coalesced,
+        } = mem;
         let m = &mut self.mem;
-        let om = &o.mem;
-        m.global_accesses += om.global_accesses;
-        m.l1_hits += om.l1_hits;
-        m.l1_misses += om.l1_misses;
-        m.l2_hits += om.l2_hits;
-        m.l2_misses += om.l2_misses;
-        m.shared_accesses += om.shared_accesses;
-        m.noc_flits += om.noc_flits;
-        m.fully_coalesced += om.fully_coalesced;
+        m.global_accesses += global_accesses;
+        m.l1_hits += l1_hits;
+        m.l1_misses += l1_misses;
+        m.l2_hits += l2_hits;
+        m.l2_misses += l2_misses;
+        m.shared_accesses += shared_accesses;
+        m.noc_flits += noc_flits;
+        m.fully_coalesced += fully_coalesced;
+
+        let PipeStats {
+            issued,
+            scheduler_idle_cycles,
+            oc_allocs,
+            bank_conflict_cycles,
+            scalar_bank_serializations,
+            bvr_conflict_cycles,
+            stalls,
+        } = pipe;
         let p = &mut self.pipe;
-        let op = &o.pipe;
-        p.issued += op.issued;
-        p.scheduler_idle_cycles += op.scheduler_idle_cycles;
-        p.oc_allocs += op.oc_allocs;
-        p.bank_conflict_cycles += op.bank_conflict_cycles;
-        p.scalar_bank_serializations += op.scalar_bank_serializations;
+        p.issued += issued;
+        p.scheduler_idle_cycles += scheduler_idle_cycles;
+        p.oc_allocs += oc_allocs;
+        p.bank_conflict_cycles += bank_conflict_cycles;
+        p.scalar_bank_serializations += scalar_bank_serializations;
+        p.bvr_conflict_cycles += bvr_conflict_cycles;
+        p.stalls.merge(stalls);
     }
 }
 
@@ -362,6 +446,101 @@ mod tests {
         assert_eq!(a.cycles, 150);
         assert_eq!(a.instr.warp_instrs, 15);
         assert_eq!(a.rf.reads, 7);
+    }
+
+    #[test]
+    fn merge_into_default_covers_every_field() {
+        // Every field is built with an exhaustive literal (no
+        // `..Default::default()`), and each gets a distinct nonzero
+        // value. Merging into an empty Stats must reproduce the source
+        // exactly; a counter silently dropped by `merge` would fail the
+        // equality below, and a field added without updating this test
+        // fails to compile.
+        let mut stalls = StallBreakdown::default();
+        stalls.add(gscalar_trace::StallReason::MemPending);
+        let src = Stats {
+            cycles: 1,
+            instr: InstrStats {
+                warp_instrs: 2,
+                thread_instrs: 3,
+                alu_instrs: 4,
+                sfu_instrs: 5,
+                mem_instrs: 6,
+                ctrl_instrs: 7,
+                divergent_instrs: 8,
+                eligible_alu: 9,
+                eligible_sfu: 10,
+                eligible_mem: 11,
+                eligible_half: 12,
+                eligible_divergent: 13,
+                executed_scalar: 14,
+                executed_half: 15,
+                decompress_moves: 16,
+                decompress_moves_elided: 17,
+            },
+            rf: RfStats {
+                reads: 18,
+                writes: 19,
+                baseline_arrays: 20,
+                ours_arrays: 21,
+                ours_bvr: 22,
+                bdi_arrays: 23,
+                scalar_rf_small: 24,
+                scalar_rf_arrays: 25,
+                xbar_bytes_baseline: 26,
+                xbar_bytes_ours: 27,
+                compressor_ops: 28,
+                decompressor_ops: 29,
+                raw_bytes: 30,
+                ours_bytes: 31,
+                bdi_bytes: 32,
+                histogram: EncodingHistogram {
+                    scalar: 33,
+                    b3: 34,
+                    b2: 35,
+                    b1: 36,
+                    other: 37,
+                    divergent: 38,
+                },
+            },
+            exec: ExecStats {
+                int_lane_ops: 39,
+                fp_lane_ops: 40,
+                sfu_lane_ops: 41,
+                int_lane_ops_saved: 42,
+                fp_lane_ops_saved: 43,
+                sfu_lane_ops_saved: 44,
+            },
+            mem: MemStats {
+                global_accesses: 45,
+                l1_hits: 46,
+                l1_misses: 47,
+                l2_hits: 48,
+                l2_misses: 49,
+                shared_accesses: 50,
+                noc_flits: 51,
+                fully_coalesced: 52,
+            },
+            pipe: PipeStats {
+                issued: 53,
+                scheduler_idle_cycles: 54,
+                oc_allocs: 55,
+                bank_conflict_cycles: 56,
+                scalar_bank_serializations: 57,
+                bvr_conflict_cycles: 58,
+                stalls,
+            },
+        };
+        let mut dst = Stats::default();
+        dst.merge(&src);
+        assert_eq!(dst, src);
+        // Merging twice doubles every additive counter but maxes cycles.
+        dst.merge(&src);
+        assert_eq!(dst.cycles, 1);
+        assert_eq!(dst.instr.warp_instrs, 4);
+        assert_eq!(dst.rf.histogram.divergent, 76);
+        assert_eq!(dst.pipe.stalls.total(), 2);
+        assert_eq!(dst.pipe.bvr_conflict_cycles, 116);
     }
 
     #[test]

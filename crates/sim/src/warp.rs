@@ -155,12 +155,7 @@ impl Warp {
     pub fn sreg_uniform(sreg: SReg) -> bool {
         matches!(
             sreg,
-            SReg::CtaIdX
-                | SReg::CtaIdY
-                | SReg::NTidX
-                | SReg::NTidY
-                | SReg::NCtaIdX
-                | SReg::WarpId
+            SReg::CtaIdX | SReg::CtaIdY | SReg::NTidX | SReg::NTidY | SReg::NCtaIdX | SReg::WarpId
         )
     }
 }
@@ -229,34 +224,14 @@ mod tests {
 
     #[test]
     fn partial_warp_mask() {
-        let w = Warp::new(
-            0,
-            0,
-            32,
-            20,
-            4,
-            0,
-            Dim3::x(0),
-            Dim3::x(20),
-            Dim3::x(1),
-        );
+        let w = Warp::new(0, 0, 32, 20, 4, 0, Dim3::x(0), Dim3::x(20), Dim3::x(1));
         assert_eq!(w.thread_mask, (1 << 20) - 1);
         assert_eq!(w.active(), (1 << 20) - 1);
     }
 
     #[test]
     fn two_dimensional_tid() {
-        let w = Warp::new(
-            0,
-            0,
-            32,
-            32,
-            4,
-            0,
-            Dim3::x(0),
-            Dim3::xy(8, 8),
-            Dim3::x(1),
-        );
+        let w = Warp::new(0, 0, 32, 32, 4, 0, Dim3::x(0), Dim3::xy(8, 8), Dim3::x(1));
         // lane 10 → tid (2, 1)
         assert_eq!(w.sreg_value(SReg::TidX, 10, 32), 2);
         assert_eq!(w.sreg_value(SReg::TidY, 10, 32), 1);

@@ -17,11 +17,10 @@ proptest! {
     ) {
         let mut m = sys();
         let mut stats = MemStats::default();
-        let mut now = 0u64;
-        for (addr, store) in addrs {
+        for (now, (addr, store)) in addrs.into_iter().enumerate() {
+            let now = now as u64;
             let done = m.access(0, addr, store, now, &mut stats);
             prop_assert!(done > now, "completion {done} at/before issue {now}");
-            now += 1;
         }
     }
 

@@ -1,0 +1,551 @@
+//! Trace exporters: Chrome trace-event JSON, CSV time-series, a
+//! per-warp text waterfall, and a stall-breakdown report.
+//!
+//! All exporters are pure functions from recorded events to `String`;
+//! callers decide where the bytes go.
+
+use crate::{MemLevel, Record, StallBreakdown, TraceEvent};
+
+/// Renders records as Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` open directly).
+///
+/// Layout: one process per SM (`pid` = SM index). Within an SM,
+/// execution spans land on one track per warp (`tid` = warp slot),
+/// issue/stall instants on one track per scheduler (`tid` = 1000 +
+/// scheduler index), and interval snapshots become counter tracks.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_trace::{Record, TraceEvent, UnitKind, ModeKind, export};
+///
+/// let recs = vec![Record {
+///     now: 5,
+///     ev: TraceEvent::ExecSpan {
+///         sm: 0, warp: 2, pc: 7,
+///         unit: UnitKind::Alu, mode: ModeKind::Vector, end: 9,
+///     },
+/// }];
+/// let json = export::chrome_json(&recs);
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.ends_with("]}"));
+/// ```
+#[must_use]
+pub fn chrome_json(records: &[Record]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, item: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&item);
+    };
+    for r in records {
+        let ts = r.now;
+        match &r.ev {
+            TraceEvent::ExecSpan {
+                sm,
+                warp,
+                pc,
+                unit,
+                mode,
+                end,
+            } => {
+                let dur = end.saturating_sub(ts).max(1);
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"pc{pc} {}\",\"cat\":\"exec\",\"ph\":\"X\",\
+                         \"ts\":{ts},\"dur\":{dur},\"pid\":{sm},\"tid\":{warp},\
+                         \"args\":{{\"mode\":\"{}\"}}}}",
+                        unit.label(),
+                        mode.label()
+                    ),
+                );
+            }
+            TraceEvent::Issue {
+                sm,
+                sched,
+                warp,
+                pc,
+                unit,
+                mode,
+                mask,
+            } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"issue w{warp} pc{pc}\",\"cat\":\"issue\",\
+                         \"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{sm},\
+                         \"tid\":{},\"args\":{{\"unit\":\"{}\",\"mode\":\"{}\",\
+                         \"mask\":{mask}}}}}",
+                        1000 + sched,
+                        unit.label(),
+                        mode.label()
+                    ),
+                );
+            }
+            TraceEvent::Stall {
+                sm,
+                sched,
+                warp,
+                reason,
+            } => {
+                let w = warp.map_or(-1i64, i64::from);
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"stall {}\",\"cat\":\"stall\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"ts\":{ts},\"pid\":{sm},\"tid\":{},\
+                         \"args\":{{\"warp\":{w}}}}}",
+                        reason.label(),
+                        1000 + sched
+                    ),
+                );
+            }
+            TraceEvent::SimtPush {
+                sm,
+                warp,
+                pc,
+                taken,
+                not_taken,
+                depth,
+            } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"diverge pc{pc}\",\"cat\":\"simt\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"ts\":{ts},\"pid\":{sm},\"tid\":{warp},\
+                         \"args\":{{\"taken\":{taken},\"not_taken\":{not_taken},\
+                         \"depth\":{depth}}}}}"
+                    ),
+                );
+            }
+            TraceEvent::SimtPop {
+                sm,
+                warp,
+                pc,
+                depth,
+            } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"reconverge pc{pc}\",\"cat\":\"simt\",\
+                         \"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{sm},\
+                         \"tid\":{warp},\"args\":{{\"depth\":{depth}}}}}"
+                    ),
+                );
+            }
+            TraceEvent::CompressWrite {
+                sm,
+                warp,
+                reg,
+                encoding,
+                bytes,
+                uniform,
+            } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"compress r{reg}\",\"cat\":\"compress\",\
+                         \"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{sm},\
+                         \"tid\":{warp},\"args\":{{\"encoding\":{encoding},\
+                         \"bytes\":{bytes},\"uniform\":{uniform}}}}}"
+                    ),
+                );
+            }
+            TraceEvent::Decompress {
+                sm,
+                warp,
+                pc,
+                assisted,
+            } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"decompress pc{pc}\",\"cat\":\"compress\",\
+                         \"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{sm},\
+                         \"tid\":{warp},\"args\":{{\"assisted\":{assisted}}}}}"
+                    ),
+                );
+            }
+            TraceEvent::Mem {
+                sm,
+                addr,
+                store,
+                level,
+                done,
+            } => {
+                let dur = done.saturating_sub(ts).max(1);
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{} {}\",\"cat\":\"mem\",\"ph\":\"X\",\
+                         \"ts\":{ts},\"dur\":{dur},\"pid\":{sm},\"tid\":2000,\
+                         \"args\":{{\"addr\":{addr}}}}}",
+                        if *store { "st" } else { "ld" },
+                        level.label()
+                    ),
+                );
+            }
+            TraceEvent::Snapshot {
+                sm,
+                issued,
+                scalar,
+                rf_bytes_compressed,
+                rf_bytes_uncompressed,
+                rf_activations,
+            } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"progress\",\"cat\":\"interval\",\"ph\":\"C\",\
+                         \"ts\":{ts},\"pid\":{sm},\
+                         \"args\":{{\"issued\":{issued},\"scalar\":{scalar},\
+                         \"rf_bytes_compressed\":{rf_bytes_compressed},\
+                         \"rf_bytes_uncompressed\":{rf_bytes_uncompressed},\
+                         \"rf_activations\":{rf_activations}}}}}"
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders interval snapshots as a CSV time-series.
+///
+/// Columns: `cycle,sm` plus cumulative counters and the two derived
+/// interval metrics the paper's figures use — interval IPC (issued per
+/// cycle since the previous snapshot of the same SM) and cumulative
+/// compression ratio (compressed / uncompressed RF bytes).
+#[must_use]
+pub fn csv_timeseries(records: &[Record]) -> String {
+    let mut out = String::from(
+        "cycle,sm,issued,scalar,rf_bytes_compressed,rf_bytes_uncompressed,\
+         rf_activations,interval_ipc,scalar_rate,compression_ratio\n",
+    );
+    // Previous (cycle, issued) per SM for interval IPC.
+    let mut prev: Vec<(u64, u64)> = Vec::new();
+    for r in records {
+        if let TraceEvent::Snapshot {
+            sm,
+            issued,
+            scalar,
+            rf_bytes_compressed,
+            rf_bytes_uncompressed,
+            rf_activations,
+        } = &r.ev
+        {
+            let idx = *sm as usize;
+            if prev.len() <= idx {
+                prev.resize(idx + 1, (0, 0));
+            }
+            let (pc, pi) = prev[idx];
+            let dcyc = r.now.saturating_sub(pc);
+            let dissued = issued.saturating_sub(pi);
+            let ipc = if dcyc > 0 {
+                dissued as f64 / dcyc as f64
+            } else {
+                0.0
+            };
+            let scalar_rate = if *issued > 0 {
+                *scalar as f64 / *issued as f64
+            } else {
+                0.0
+            };
+            let ratio = if *rf_bytes_uncompressed > 0 {
+                *rf_bytes_compressed as f64 / *rf_bytes_uncompressed as f64
+            } else {
+                1.0
+            };
+            out.push_str(&format!(
+                "{},{sm},{issued},{scalar},{rf_bytes_compressed},\
+                 {rf_bytes_uncompressed},{rf_activations},{ipc:.4},\
+                 {scalar_rate:.4},{ratio:.4}\n",
+                r.now
+            ));
+            prev[idx] = (r.now, *issued);
+        }
+    }
+    out
+}
+
+/// Renders a human-readable per-warp waterfall of issue events.
+///
+/// One line per issue, grouped by SM and warp, showing the cycle, PC,
+/// unit, execution mode, and active mask — a quick way to eyeball
+/// divergence and scalarization without opening Perfetto.
+#[must_use]
+pub fn waterfall(records: &[Record]) -> String {
+    // (sm, warp) -> lines
+    let mut groups: Vec<((u32, u32), Vec<String>)> = Vec::new();
+    for r in records {
+        if let TraceEvent::Issue {
+            sm,
+            sched,
+            warp,
+            pc,
+            unit,
+            mode,
+            mask,
+        } = &r.ev
+        {
+            let key = (*sm, *warp);
+            let line = format!(
+                "    cycle {:>8}  pc {:>4}  {:<3} {:<6} sched {}  mask {:#010x}",
+                r.now,
+                pc,
+                unit.label(),
+                mode.label(),
+                sched,
+                mask
+            );
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, lines)) => lines.push(line),
+                None => groups.push((key, vec![line])),
+            }
+        }
+    }
+    groups.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for ((sm, warp), lines) in groups {
+        out.push_str(&format!("SM {sm} warp {warp} ({} issues)\n", lines.len()));
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a stall-breakdown report.
+///
+/// `idle_cycles` is the scheduler idle-cycle count the breakdown must
+/// sum to; the report prints both so a mismatch is visible at a glance.
+#[must_use]
+pub fn stall_report(breakdown: &StallBreakdown, idle_cycles: u64, issued: u64) -> String {
+    let total = breakdown.total();
+    let slots = issued + idle_cycles;
+    let mut out = String::from("scheduler-slot stall breakdown\n");
+    out.push_str(&format!(
+        "  issue slots: {slots}  issued: {issued}  idle: {idle_cycles}\n"
+    ));
+    for (reason, cycles) in breakdown.iter() {
+        let pct = if idle_cycles > 0 {
+            100.0 * cycles as f64 / idle_cycles as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<18} {:>12}  {:>6.2}% of idle\n",
+            reason.label(),
+            cycles,
+            pct
+        ));
+    }
+    out.push_str(&format!(
+        "  sum(reasons) = {total}  scheduler_idle_cycles = {idle_cycles}  {}\n",
+        if total == idle_cycles {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    ));
+    out
+}
+
+/// Summarizes memory events per hierarchy level (for the trace binary).
+#[must_use]
+pub fn mem_level_counts(records: &[Record]) -> Vec<(MemLevel, u64)> {
+    let levels = [
+        MemLevel::L1Hit,
+        MemLevel::MshrMerge,
+        MemLevel::L2Hit,
+        MemLevel::Dram,
+        MemLevel::Shared,
+    ];
+    let mut counts = vec![0u64; levels.len()];
+    for r in records {
+        if let TraceEvent::Mem { level, .. } = &r.ev {
+            let i = levels.iter().position(|l| l == level).expect("known level");
+            counts[i] += 1;
+        }
+    }
+    levels.into_iter().zip(counts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModeKind, StallReason, UnitKind};
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record {
+                now: 1,
+                ev: TraceEvent::Issue {
+                    sm: 0,
+                    sched: 0,
+                    warp: 3,
+                    pc: 0,
+                    unit: UnitKind::Alu,
+                    mode: ModeKind::Scalar,
+                    mask: 0xFFFF_FFFF,
+                },
+            },
+            Record {
+                now: 2,
+                ev: TraceEvent::ExecSpan {
+                    sm: 0,
+                    warp: 3,
+                    pc: 0,
+                    unit: UnitKind::Alu,
+                    mode: ModeKind::Scalar,
+                    end: 10,
+                },
+            },
+            Record {
+                now: 3,
+                ev: TraceEvent::Stall {
+                    sm: 0,
+                    sched: 1,
+                    warp: Some(4),
+                    reason: StallReason::MemPending,
+                },
+            },
+            Record {
+                now: 100,
+                ev: TraceEvent::Snapshot {
+                    sm: 0,
+                    issued: 50,
+                    scalar: 10,
+                    rf_bytes_compressed: 400,
+                    rf_bytes_uncompressed: 1600,
+                    rf_activations: 90,
+                },
+            },
+            Record {
+                now: 200,
+                ev: TraceEvent::Snapshot {
+                    sm: 0,
+                    issued: 150,
+                    scalar: 30,
+                    rf_bytes_compressed: 900,
+                    rf_bytes_uncompressed: 3200,
+                    rf_activations: 180,
+                },
+            },
+            Record {
+                now: 5,
+                ev: TraceEvent::Mem {
+                    sm: 0,
+                    addr: 0x1000,
+                    store: false,
+                    level: MemLevel::Dram,
+                    done: 300,
+                },
+            },
+        ]
+    }
+
+    /// A minimal structural JSON check: balanced braces/brackets outside
+    /// strings, and no trailing commas before closers.
+    fn assert_json_shape(s: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut prev = ' ';
+        for c in s.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => {
+                        assert_ne!(prev, ',', "trailing comma before closer");
+                        depth -= 1;
+                        assert!(depth >= 0, "unbalanced closers");
+                    }
+                    _ => {}
+                }
+            }
+            prev = c;
+        }
+        assert_eq!(depth, 0, "unbalanced JSON nesting");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let json = chrome_json(&sample_records());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_json_shape(&json);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"pid\":0"));
+    }
+
+    #[test]
+    fn chrome_json_empty_input() {
+        let json = chrome_json(&[]);
+        assert_eq!(json, "{\"traceEvents\":[]}");
+        assert_json_shape(&json);
+    }
+
+    #[test]
+    fn csv_reports_interval_ipc_and_ratio() {
+        let csv = csv_timeseries(&sample_records());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 snapshots
+        assert!(lines[0].starts_with("cycle,sm,issued"));
+        // First snapshot: 50 issued over 100 cycles.
+        assert!(lines[1].contains("0.5000"));
+        // Second: 100 more issued over 100 cycles → interval IPC 1.0.
+        assert!(lines[2].contains("1.0000"));
+        // Scalar rate 30/150 = 0.2.
+        assert!(lines[2].contains("0.2000"));
+    }
+
+    #[test]
+    fn waterfall_groups_by_warp() {
+        let text = waterfall(&sample_records());
+        assert!(text.contains("SM 0 warp 3 (1 issues)"));
+        assert!(text.contains("pc    0"));
+        assert!(text.contains("scalar"));
+    }
+
+    #[test]
+    fn stall_report_flags_mismatch() {
+        let mut b = StallBreakdown::default();
+        b.add(StallReason::Barrier);
+        let ok = stall_report(&b, 1, 10);
+        assert!(ok.contains("OK"));
+        assert!(!ok.contains("MISMATCH"));
+        let bad = stall_report(&b, 2, 10);
+        assert!(bad.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn mem_counts_by_level() {
+        let counts = mem_level_counts(&sample_records());
+        let dram = counts
+            .iter()
+            .find(|(l, _)| *l == MemLevel::Dram)
+            .expect("dram row");
+        assert_eq!(dram.1, 1);
+        let l1 = counts
+            .iter()
+            .find(|(l, _)| *l == MemLevel::L1Hit)
+            .expect("l1 row");
+        assert_eq!(l1.1, 0);
+    }
+}

@@ -5,8 +5,7 @@
 //! clustered floats sharing exponent bytes — so each generator documents
 //! which register-compression category its data lands in.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gscalar_core::rng::Rng;
 
 /// Standard buffer base addresses used by every workload.
 pub mod bufs {
@@ -26,8 +25,8 @@ pub mod bufs {
 
 /// A seeded RNG for workload `seed` (deterministic across runs).
 #[must_use]
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Uniformly random `f32` values in `[lo, hi)` — clustered magnitudes
@@ -36,7 +35,7 @@ pub fn rng(seed: u64) -> StdRng {
 #[must_use]
 pub fn f32_uniform(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.random_range(lo..hi)).collect()
+    (0..n).map(|_| r.range_f32(lo, hi)).collect()
 }
 
 /// Small non-negative integers below `max` — values share the top three
@@ -44,14 +43,16 @@ pub fn f32_uniform(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
 #[must_use]
 pub fn small_ints(n: usize, max: u32, seed: u64) -> Vec<u32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.random_range(0..max)).collect()
+    (0..n).map(|_| r.range_u32(0, max)).collect()
 }
 
 /// Ascending integers from `start` with step `step` — address-like
 /// values where consecutive lanes differ only in low bytes.
 #[must_use]
 pub fn ascending(n: usize, start: u32, step: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| start.wrapping_add(i * step)).collect()
+    (0..n as u32)
+        .map(|i| start.wrapping_add(i * step))
+        .collect()
 }
 
 /// A constant vector (fully scalar).
@@ -68,7 +69,7 @@ pub fn trip_counts(n: usize, base: u32, extra: u32, outlier_every: usize, seed: 
     let mut r = rng(seed);
     (0..n)
         .map(|_| {
-            if outlier_every > 0 && r.random_range(0..outlier_every) == 0 {
+            if outlier_every > 0 && r.range_usize(0, outlier_every) == 0 {
                 base + extra
             } else {
                 base
@@ -85,7 +86,7 @@ pub fn run_flags(n: usize, types: u32, run_len: usize, seed: u64) -> Vec<u32> {
     let mut r = rng(seed);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let t = r.random_range(0..types);
+        let t = r.range_u32(0, types);
         for _ in 0..run_len.min(n - out.len()) {
             out.push(t);
         }
@@ -113,7 +114,7 @@ pub fn warp_uniform_trips(n: usize, base: u32, spread: u32, seed: u64) -> Vec<u3
     let mut current = base;
     for i in 0..n {
         if i % 32 == 0 {
-            current = base + r.random_range(0..spread.max(1));
+            current = base + r.range_u32(0, spread.max(1));
         }
         out.push(current);
     }
@@ -126,7 +127,7 @@ pub fn warp_uniform_trips(n: usize, base: u32, spread: u32, seed: u64) -> Vec<u3
 pub fn random_flags(n: usize, p_true_percent: u32, seed: u64) -> Vec<u32> {
     let mut r = rng(seed);
     (0..n)
-        .map(|_| u32::from(r.random_range(0..100) < p_true_percent))
+        .map(|_| u32::from(r.percent(p_true_percent)))
         .collect()
 }
 

@@ -60,7 +60,13 @@ pub fn cutcp(scale: Scale) -> Workload {
     mem.write_f32_slice(bufs::B, &gen::f32_uniform(atoms as usize, 0.5, 7.5, 0xCD));
     mem.write_u32(bufs::PARAMS, atoms);
     mem.write_f32(bufs::PARAMS + 4, 4.0);
-    Workload::new("cutcp", "CC", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "cutcp",
+        "CC",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `lbm` (LBM): lattice-Boltzmann collision — memory-dominated (eight
@@ -78,7 +84,7 @@ pub fn lbm(scale: Scale) -> Workload {
     let flag = b.ld_global(flag_addr, 0);
     let omega = load_param(&mut b, 0);
     let stride = 4 * 8192i32; // distribution-plane stride in bytes
-    // Load 6 distribution planes (stand-ins for the 19 of D3Q19).
+                              // Load 6 distribution planes (stand-ins for the 19 of D3Q19).
     let f0 = b.ld_global(faddr, 0);
     let f1 = b.ld_global(faddr, stride);
     let f2 = b.ld_global(faddr, 2 * stride);
@@ -218,7 +224,13 @@ pub fn mri_grid(scale: Scale) -> Workload {
     );
     mem.write_f32(bufs::PARAMS, 4.0);
     mem.write_u32(bufs::PARAMS + 4, neighbors);
-    Workload::new("mri-grid", "MG", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "mri-grid",
+        "MG",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `mri-q` (MQ): Q-matrix computation — non-divergent, with warp-uniform
@@ -243,7 +255,7 @@ pub fn mri_q(scale: Scale) -> Workload {
         |b| b.isetp(CmpOp::Lt, k.into(), nk.into()).into(),
         |b| {
             // k-space sample: scalar load + scalar magnitude math.
-                let koff = b.shl(k.into(), Operand::Imm(2));
+            let koff = b.shl(k.into(), Operand::Imm(2));
             let kaddr = b.iadd(koff.into(), Operand::Imm(bufs::B as u32));
             let kx = b.ld_global(kaddr, 0);
             let m2 = b.fmul(kx.into(), kx.into());
@@ -278,7 +290,13 @@ pub fn mri_q(scale: Scale) -> Workload {
         bufs::PARAMS + 0x1000,
         &gen::f32_uniform(8 * ctas as usize, 0.0, 0.2, 0x93),
     );
-    Workload::new("mri-q", "MQ", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "mri-q",
+        "MQ",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `sad` (SAD): sum-of-absolute-differences block matching — uniform
@@ -412,17 +430,20 @@ pub fn sgemm(scale: Scale) -> Workload {
 
     let n_threads = (ctas * block) as usize;
     let mut mem = GlobalMemory::new();
-    mem.write_f32_slice(
-        bufs::A,
-        &gen::f32_uniform(n_threads + 1024, 0.1, 1.0, 0x71),
-    );
+    mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads + 1024, 0.1, 1.0, 0x71));
     mem.write_f32_slice(
         bufs::B,
         &gen::f32_uniform(2 * n_threads + 1024, 0.1, 1.0, 0x72),
     );
     mem.write_u32(bufs::PARAMS, tiles);
     mem.write_u32(bufs::PARAMS + 4, 64);
-    Workload::new("sgemm", "MM", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "sgemm",
+        "MM",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `spmv` (MV): CSR sparse matrix-vector product — per-row loops with
@@ -537,7 +558,13 @@ pub fn stencil(scale: Scale) -> Workload {
     );
     mem.write_f32(bufs::PARAMS, 0.6);
     mem.write_f32(bufs::PARAMS + 4, 0.4);
-    Workload::new("stencil", "ST", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "stencil",
+        "ST",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `tpacf` (ACF): two-point angular correlation — per-thread dot
@@ -592,5 +619,11 @@ pub fn tpacf(scale: Scale) -> Workload {
         &gen::f32_uniform(samples as usize, 0.3, 0.8, 0xAE),
     );
     mem.write_u32(bufs::PARAMS, samples);
-    Workload::new("tpacf", "ACF", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "tpacf",
+        "ACF",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }

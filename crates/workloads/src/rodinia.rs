@@ -71,7 +71,13 @@ pub fn btree(scale: Scale) -> Workload {
     mem.write_u32_slice(bufs::B, &gen::small_ints(ctas as usize, 1 << 20, 0xB8));
     mem.write_u32(bufs::PARAMS, levels);
     let _ = n;
-    Workload::new("b+tree", "BT", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "b+tree",
+        "BT",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `backprop` (BP): the paper's star benchmark — each thread computes
@@ -121,7 +127,13 @@ pub fn backprop(scale: Scale) -> Workload {
     mem.write_f32_slice(bufs::A, &gen::f32_uniform(n_threads, 0.1, 0.9, 0xBB));
     mem.write_u32(bufs::PARAMS, iters);
     mem.write_f32(bufs::PARAMS + 4, 0.3);
-    Workload::new("backprop", "BP", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "backprop",
+        "BP",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `heartwall` (HW): data-dependent per-thread search loops make ~half
@@ -178,7 +190,13 @@ pub fn heartwall(scale: Scale) -> Workload {
         &gen::trip_counts(n_threads, base_trips, 2 * base_trips, 2, 0x4A),
     );
     mem.write_f32(bufs::PARAMS, 0.75);
-    Workload::new("heartwall", "HW", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "heartwall",
+        "HW",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `hotspot` (HS): a 2-D thermal stencil whose row-edge lanes skip the
@@ -247,7 +265,13 @@ pub fn hotspot(scale: Scale) -> Workload {
     );
     mem.write_f32(bufs::PARAMS, 80.0);
     mem.write_f32(bufs::PARAMS + 4, 0.05);
-    Workload::new("hotspot", "HS", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "hotspot",
+        "HS",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `leukocyte` (LC): few resident warps plus long-latency integer
@@ -299,7 +323,13 @@ pub fn leukocyte(scale: Scale) -> Workload {
     mem.write_u32_slice(bufs::A, &gen::small_ints(n_threads, 1 << 16, 0x7C));
     mem.write_u32(bufs::PARAMS, 7);
     mem.write_u32(bufs::PARAMS + 4, trips);
-    Workload::new("leukocyte", "LC", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "leukocyte",
+        "LC",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `pathfinder` (PF): dynamic-programming row sweep through shared
@@ -366,7 +396,13 @@ pub fn pathfinder(scale: Scale) -> Workload {
     mem.write_u32_slice(bufs::A, &gen::small_ints(n, 100, 0x9F));
     mem.write_u32(bufs::PARAMS, ctas * block);
     mem.write_u32(bufs::PARAMS + 4, rows);
-    Workload::new("pathfinder", "PF", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "pathfinder",
+        "PF",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `srad_1` (SR1): diffusion-coefficient pass of SRAD — gradient math
@@ -424,7 +460,13 @@ pub fn srad_1(scale: Scale) -> Workload {
     );
     mem.write_f32(bufs::PARAMS, 0.5);
     mem.write_f32(bufs::PARAMS + 4, 0.05);
-    Workload::new("srad_1", "SR1", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "srad_1",
+        "SR1",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }
 
 /// `srad_2` (SR2): the update pass — non-divergent FMA-dense stencil
@@ -465,5 +507,11 @@ pub fn srad_2(scale: Scale) -> Workload {
         &gen::f32_uniform(n_threads + width as usize, 0.0, 1.0, 0x53),
     );
     mem.write_f32(bufs::PARAMS, 0.5);
-    Workload::new("srad_2", "SR2", kernel, LaunchConfig::linear(ctas, block), mem)
+    Workload::new(
+        "srad_2",
+        "SR2",
+        kernel,
+        LaunchConfig::linear(ctas, block),
+        mem,
+    )
 }

@@ -52,11 +52,7 @@ pub fn load_param(b: &mut KernelBuilder, word: u32) -> Reg {
 /// metadata in real kernels); at warp size 64 the two merged groups
 /// read different values, which is exactly the source of the paper's
 /// Figure 10 half-scalar growth.
-pub fn warp_group_param(
-    b: &mut KernelBuilder,
-    base: u64,
-    groups_per_cta: u32,
-) -> Reg {
+pub fn warp_group_param(b: &mut KernelBuilder, base: u64, groups_per_cta: u32) -> Reg {
     let tid = b.s2r(SReg::TidX);
     let ctaid = b.s2r(SReg::CtaIdX);
     let grp = b.shr(tid.into(), Operand::Imm(5));

@@ -28,7 +28,10 @@ fn backprop_is_sfu_scalar_and_half_scalar() {
         frac(s.instr.eligible_sfu, s.instr.sfu_instrs) > 0.8,
         "BP's SFU arguments are warp-uniform"
     );
-    assert!(frac(s.instr.eligible_half, wi) > 0.03, "BP's momentum term is half-warp uniform");
+    assert!(
+        frac(s.instr.eligible_half, wi) > 0.03,
+        "BP's momentum term is half-warp uniform"
+    );
     assert!(s.divergent_fraction() < 0.2, "BP is mostly convergent");
 }
 
@@ -88,7 +91,10 @@ fn spmv_is_value_similar_but_rarely_scalar() {
     let s = stats("MV");
     let f = s.rf.histogram.fractions();
     let similar = f[1] + f[2] + f[3]; // 3-/2-/1-byte categories
-    assert!(similar > 0.3, "MV needs byte-similar registers, got {similar:.2}");
+    assert!(
+        similar > 0.3,
+        "MV needs byte-similar registers, got {similar:.2}"
+    );
     assert!(f[0] < 0.35, "MV scalars should be rare, got {:.2}", f[0]);
 }
 
@@ -111,12 +117,19 @@ fn lbm_is_memory_heavy() {
 #[test]
 fn leukocyte_uses_long_latency_division() {
     let w = by_abbr("LC", Scale::Test).expect("benchmark exists");
-    let has_div = w
-        .kernel
-        .instrs()
-        .iter()
-        .any(|i| matches!(i.kind, gscalar_isa::InstrKind::Alu { op: gscalar_isa::AluOp::IDiv, .. }));
-    assert!(has_div, "LC must carry the IDIV that makes it latency-bound");
+    let has_div = w.kernel.instrs().iter().any(|i| {
+        matches!(
+            i.kind,
+            gscalar_isa::InstrKind::Alu {
+                op: gscalar_isa::AluOp::IDiv,
+                ..
+            }
+        )
+    });
+    assert!(
+        has_div,
+        "LC must carry the IDIV that makes it latency-bound"
+    );
     // Few CTAs: limited latency hiding (the Section 5.4 story).
     assert!(w.launch.grid.count() <= 16);
 }

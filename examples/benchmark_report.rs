@@ -42,12 +42,30 @@ fn main() {
     );
     println!("divergent           {:.1}%", 100.0 * s.divergent_fraction());
     println!("\n== scalar eligibility (Figure 9 categories) ==");
-    println!("ALU scalar          {:.1}%", 100.0 * s.instr.eligible_alu as f64 / wi);
-    println!("SFU scalar          {:.1}%", 100.0 * s.instr.eligible_sfu as f64 / wi);
-    println!("memory scalar       {:.1}%", 100.0 * s.instr.eligible_mem as f64 / wi);
-    println!("half-warp scalar    {:.1}%", 100.0 * s.instr.eligible_half as f64 / wi);
-    println!("divergent scalar    {:.1}%", 100.0 * s.instr.eligible_divergent as f64 / wi);
-    println!("total               {:.1}%", 100.0 * s.instr.eligible_total() as f64 / wi);
+    println!(
+        "ALU scalar          {:.1}%",
+        100.0 * s.instr.eligible_alu as f64 / wi
+    );
+    println!(
+        "SFU scalar          {:.1}%",
+        100.0 * s.instr.eligible_sfu as f64 / wi
+    );
+    println!(
+        "memory scalar       {:.1}%",
+        100.0 * s.instr.eligible_mem as f64 / wi
+    );
+    println!(
+        "half-warp scalar    {:.1}%",
+        100.0 * s.instr.eligible_half as f64 / wi
+    );
+    println!(
+        "divergent scalar    {:.1}%",
+        100.0 * s.instr.eligible_divergent as f64 / wi
+    );
+    println!(
+        "total               {:.1}%",
+        100.0 * s.instr.eligible_total() as f64 / wi
+    );
     println!("\n== register file ==");
     println!("access distribution: {}", s.rf.histogram);
     println!(

@@ -37,7 +37,9 @@ fn main() {
     show("all zero", &[0u32; 32]);
 
     // Clustered floats: the exponent byte matches, mantissas differ.
-    let floats: Vec<u32> = (0..32).map(|i| (1.0f32 + i as f32 * 0.01).to_bits()).collect();
+    let floats: Vec<u32> = (0..32)
+        .map(|i| (1.0f32 + i as f32 * 0.01).to_bits())
+        .collect();
     show("clustered f32", &floats);
 
     // Small integers (indices, flags).

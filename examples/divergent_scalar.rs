@@ -32,17 +32,26 @@ fn main() {
 
     // Same-mask reader: divergent scalar.
     let r = rf.read(r2, mask_a);
-    println!("read with the same mask      → scalar eligible: {}", r.scalar);
+    println!(
+        "read with the same mask      → scalar eligible: {}",
+        r.scalar
+    );
 
     // Other-path reader (complementary mask): encoding invalid.
     let mask_b = !mask_a & full_mask(32);
     let r = rf.read(r2, mask_b);
-    println!("read with the other mask     → scalar eligible: {}", r.scalar);
+    println!(
+        "read with the other mask     → scalar eligible: {}",
+        r.scalar
+    );
 
     // A non-divergent scalar write is valid for any reader mask.
     rf.write(r2, &[42u32; 32], full_mask(32));
     let r = rf.read(r2, mask_b);
-    println!("after a non-divergent write  → scalar eligible: {}\n", r.scalar);
+    println!(
+        "after a non-divergent write  → scalar eligible: {}\n",
+        r.scalar
+    );
 
     // ---- The end-to-end view: a divergent kernel -------------------
     println!("== End-to-end view ==");

@@ -42,13 +42,7 @@ fn main() {
         mem.write_f32(0x1_0000 + u64::from(i) * 4, i as f32);
         mem.write_f32(0x2_0000 + u64::from(i) * 4, 1.0);
     }
-    let workload = Workload::new(
-        "saxpy",
-        "SAXPY",
-        kernel,
-        LaunchConfig::linear(16, 256),
-        mem,
-    );
+    let workload = Workload::new("saxpy", "SAXPY", kernel, LaunchConfig::linear(16, 256), mem);
 
     // 3. Run on every architecture the paper evaluates.
     let runner = Runner::new(GpuConfig::gtx480());

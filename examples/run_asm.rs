@@ -35,7 +35,8 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("assembled `{}`: {} instructions, {} registers, {} basic blocks",
+    println!(
+        "assembled `{}`: {} instructions, {} registers, {} basic blocks",
         kernel.name(),
         kernel.len(),
         kernel.num_regs(),

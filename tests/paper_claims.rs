@@ -95,7 +95,10 @@ fn rf_scheme_ordering_holds_on_value_similar_benchmarks() {
         let ours = get(RfScheme::ByteWise);
         let scalar = get(RfScheme::ScalarRf);
         assert!(ours < 1.0, "{abbr}: ours {ours} must beat the baseline");
-        assert!(ours < scalar, "{abbr}: ours {ours} must beat scalar-only {scalar}");
+        assert!(
+            ours < scalar,
+            "{abbr}: ours {ours} must beat scalar-only {scalar}"
+        );
         ours_sum += ours;
         wc_sum += get(RfScheme::WarpedCompression);
         scalar_sum += scalar;
@@ -143,7 +146,11 @@ fn decompress_move_overhead_is_small() {
         let w = by_abbr(abbr, Scale::Full).expect("benchmark exists");
         let s = r.run(&w, Arch::GScalar).stats;
         let frac = s.instr.decompress_moves as f64 / s.instr.warp_instrs as f64;
-        assert!(frac < 0.06, "{abbr}: decompress-move overhead {:.1}%", 100.0 * frac);
+        assert!(
+            frac < 0.06,
+            "{abbr}: decompress-move overhead {:.1}%",
+            100.0 * frac
+        );
     }
 }
 
