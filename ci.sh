@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, lints, release build, and the full test
-# suite. Everything runs offline — the workspace has no registry
-# dependencies (proptest/criterion resolve to in-repo shims).
+# Tier-1 gate: formatting, lints, release build, the full test suite,
+# and a fast benchmark smoke run gated against a checked-in baseline.
+# Everything runs offline — the workspace has no registry dependencies
+# (proptest/criterion resolve to in-repo shims).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,5 +17,11 @@ cargo build --release --workspace --offline
 
 echo "== cargo test"
 cargo test -q --workspace --offline
+
+echo "== bench smoke + regression compare"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+./target/release/probe --scale test --json "$tmp/probe.json" > /dev/null
+./target/release/report compare ci/baseline "$tmp"
 
 echo "ci: all green"

@@ -1,10 +1,11 @@
-//! Tracing-overhead benchmark: the disabled-tracer path must cost
-//! almost nothing (target ≤2% vs the untraced run loop), and the
-//! enabled path's cost is reported for reference.
+//! Tracing- and metrics-overhead benchmark: the disabled-tracer and
+//! disabled-observer paths must cost almost nothing (target ≤2% vs the
+//! untraced run loop), and the enabled paths' costs are reported for
+//! reference.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gscalar_core::{Arch, Runner};
-use gscalar_sim::GpuConfig;
+use gscalar_sim::{Gpu, GpuConfig, MetricsObserver, NullObserver};
 use gscalar_trace::{EventBuf, Tracer};
 use gscalar_workloads::{by_abbr, Scale};
 use std::hint::black_box;
@@ -41,6 +42,53 @@ fn bench_overhead(c: &mut Criterion) {
                 .stats
                 .cycles;
             black_box((cycles, buf.len()))
+        })
+    });
+
+    // Metrics-off: the observed entry point with a null observer and no
+    // sampling — measures the per-iteration interval check alone.
+    g.bench_function("metrics-off/run_observed", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::test_small(), Arch::GScalar.config());
+            let mut mem = w.memory.clone();
+            let stats = gpu.run_observed(
+                &w.kernel,
+                w.launch,
+                &mut mem,
+                &mut Tracer::off(),
+                0,
+                0,
+                &mut NullObserver,
+            );
+            black_box(stats.cycles)
+        })
+    });
+
+    // Metrics-on: registry observer with 64-cycle interval series.
+    g.bench_function("metrics-on/run_observed", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::test_small(), Arch::GScalar.config());
+            let mut mem = w.memory.clone();
+            let mut obs = MetricsObserver::new();
+            let stats = gpu.run_observed(
+                &w.kernel,
+                w.launch,
+                &mut mem,
+                &mut Tracer::off(),
+                0,
+                64,
+                &mut obs,
+            );
+            black_box((stats.cycles, obs.into_registry().flatten().len()))
+        })
+    });
+
+    // Full instrumentation: registry + interval power timeline +
+    // energy/power summary gauges (what the `--json` bench path uses).
+    g.bench_function("metrics-on/run_metered", |b| {
+        b.iter(|| {
+            let run = runner.run_metered(&w, Arch::GScalar, 64);
+            black_box((run.report.stats.cycles, run.timeline.intervals().len()))
         })
     });
     g.finish();

@@ -5,23 +5,19 @@
 //! feature buys: the efficiency delta of G-Scalar with and without
 //! half-warp scalar execution.
 
-use gscalar_bench::{mean, row};
+use gscalar_bench::{mean, Report};
 use gscalar_core::{Arch, Runner};
 use gscalar_power::synthesis::rf_area_overhead_fraction;
 use gscalar_sim::GpuConfig;
 use gscalar_workloads::{suite, Scale};
 
 fn main() {
-    println!("Ablation: half-warp scalar execution on/off (IPC/W, baseline = 1.0)");
-    println!(
-        "{}",
-        row(
-            "bench",
-            &["no-half".into(), "with-half".into(), "delta%".into()]
-        )
-    );
-    let runner = Runner::new(GpuConfig::gtx480());
+    let mut r = Report::new("abl_half");
     let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Ablation: half-warp scalar execution on/off (IPC/W, baseline = 1.0)");
+    r.table(&["no-half", "with-half", "delta%"]);
+    let runner = Runner::new(GpuConfig::gtx480());
     let mut deltas = Vec::new();
     for w in suite(Scale::Full) {
         let base = runner.run(&w, Arch::Baseline);
@@ -44,30 +40,18 @@ fn main() {
         let half = with.power.ipc_per_watt() / b;
         let d = 100.0 * (half / no_half - 1.0);
         deltas.push(d);
-        println!(
-            "{}",
-            row(
-                &w.abbr,
-                &[
-                    format!("{no_half:.3}"),
-                    format!("{half:.3}"),
-                    format!("{d:+.2}")
-                ]
-            )
-        );
+        r.add_cycles(base.stats.cycles + with.stats.cycles + stats.cycles);
+        r.row(&w.abbr, &[no_half, half, d], |x| format!("{x:.3}"));
     }
-    println!(
-        "{}",
-        row(
-            "AVG",
-            &["".into(), "".into(), format!("{:+.2}", mean(&deltas))]
-        )
-    );
-    println!();
-    println!(
+    let avg = mean(&deltas);
+    r.row_text("AVG", &["".into(), "".into(), format!("{avg:+.2}")]);
+    r.metric("AVG/delta%", avg);
+    r.blank();
+    r.note(&format!(
         "cost: RF area overhead {:.0}% → {:.0}% (Section 4.3); the paper keeps",
         100.0 * rf_area_overhead_fraction(false),
         100.0 * rf_area_overhead_fraction(true)
-    );
-    println!("half-warp scalar optional and non-divergent-only.");
+    ));
+    r.note("half-warp scalar optional and non-divergent-only.");
+    r.finish();
 }

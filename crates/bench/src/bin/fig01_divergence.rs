@@ -1,42 +1,35 @@
 //! Figure 1: percentage of divergent instructions and divergent scalar
 //! instructions in total instructions, per benchmark.
 
-use gscalar_bench::{mean, row, run_suite};
+use gscalar_bench::{mean, run_suite, Report};
 use gscalar_core::Arch;
 use gscalar_sim::GpuConfig;
 
 fn main() {
-    println!("Figure 1: divergent / divergent-scalar instruction fractions");
-    println!(
-        "{}",
-        row("bench", &["divergent%".into(), "div-scalar%".into()])
-    );
+    let mut r = Report::new("fig01_divergence");
+    let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Figure 1: divergent / divergent-scalar instruction fractions");
+    r.table(&["divergent%", "div-scalar%"]);
     let mut divs = Vec::new();
     let mut dscals = Vec::new();
-    for (abbr, r) in run_suite(Arch::Baseline, &GpuConfig::gtx480()) {
-        let wi = r.stats.instr.warp_instrs as f64;
-        let d = 100.0 * r.stats.instr.divergent_instrs as f64 / wi;
-        let ds = 100.0 * r.stats.instr.eligible_divergent as f64 / wi;
+    for (abbr, report) in run_suite(Arch::Baseline, &cfg) {
+        let wi = report.stats.instr.warp_instrs as f64;
+        let d = 100.0 * report.stats.instr.divergent_instrs as f64 / wi;
+        let ds = 100.0 * report.stats.instr.eligible_divergent as f64 / wi;
         divs.push(d);
         dscals.push(ds);
-        println!("{}", row(&abbr, &[format!("{d:.1}"), format!("{ds:.1}")]));
+        r.add_cycles(report.stats.cycles);
+        r.row(&abbr, &[d, ds], |x| format!("{x:.1}"));
     }
-    println!(
-        "{}",
-        row(
-            "AVG",
-            &[
-                format!("{:.1}", mean(&divs)),
-                format!("{:.1}", mean(&dscals))
-            ]
-        )
-    );
-    println!();
-    println!("paper: avg 28% divergent; 45% of divergent instructions are");
-    println!("divergent-scalar (i.e. ~12.6% of total).");
-    println!(
+    r.row("AVG", &[mean(&divs), mean(&dscals)], |x| format!("{x:.1}"));
+    r.blank();
+    r.note("paper: avg 28% divergent; 45% of divergent instructions are");
+    r.note("divergent-scalar (i.e. ~12.6% of total).");
+    r.note(&format!(
         "measured: {:.1}% divergent; {:.0}% of divergent are divergent-scalar.",
         mean(&divs),
         100.0 * mean(&dscals) / mean(&divs).max(1e-9)
-    );
+    ));
+    r.finish();
 }

@@ -1,29 +1,30 @@
 //! Figure 8: register-file access distribution for operand values.
 
-use gscalar_bench::{mean, row, run_suite};
+use gscalar_bench::{mean, run_suite, Report};
 use gscalar_core::Arch;
 use gscalar_sim::GpuConfig;
 
 fn main() {
-    println!("Figure 8: RF access distribution (operand value similarity)");
-    let head: Vec<String> = [
+    let mut r = Report::new("fig08_rf_distribution");
+    let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Figure 8: RF access distribution (operand value similarity)");
+    r.table(&[
         "scalar%", "3-byte%", "2-byte%", "1-byte%", "other%", "diverg%",
-    ]
-    .iter()
-    .map(|s| (*s).into())
-    .collect();
-    println!("{}", row("bench", &head));
+    ]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
-    for (abbr, r) in run_suite(Arch::Baseline, &GpuConfig::gtx480()) {
-        let f = r.stats.rf.histogram.fractions();
-        let cells: Vec<String> = f.iter().map(|x| format!("{:.1}", 100.0 * x)).collect();
-        for (i, x) in f.iter().enumerate() {
-            cols[i].push(100.0 * x);
+    for (abbr, report) in run_suite(Arch::Baseline, &cfg) {
+        let f = report.stats.rf.histogram.fractions();
+        let vals: Vec<f64> = f.iter().map(|x| 100.0 * x).collect();
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
         }
-        println!("{}", row(&abbr, &cells));
+        r.add_cycles(report.stats.cycles);
+        r.row(&abbr, &vals, |x| format!("{x:.1}"));
     }
-    let avg: Vec<String> = cols.iter().map(|c| format!("{:.1}", mean(c))).collect();
-    println!("{}", row("AVG", &avg));
-    println!();
-    println!("paper: avg scalar 36%, 3-byte 17%, 2-byte 4%, 1-byte 7%.");
+    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
+    r.row("AVG", &avg, |x| format!("{x:.1}"));
+    r.blank();
+    r.note("paper: avg scalar 36%, 3-byte 17%, 2-byte 4%, 1-byte 7%.");
+    r.finish();
 }

@@ -1,20 +1,19 @@
 //! Figure 9: percentage of instructions eligible for scalar execution,
 //! cumulative over the paper's categories.
 
-use gscalar_bench::{mean, row, run_suite};
+use gscalar_bench::{mean, run_suite, Report};
 use gscalar_core::Arch;
 use gscalar_sim::GpuConfig;
 
 fn main() {
-    println!("Figure 9: instructions eligible for scalar execution (cumulative)");
-    let head: Vec<String> = ["ALU%", "all%", "half%", "diverg%"]
-        .iter()
-        .map(|s| (*s).into())
-        .collect();
-    println!("{}", row("bench", &head));
+    let mut r = Report::new("fig09_scalar_eligibility");
+    let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Figure 9: instructions eligible for scalar execution (cumulative)");
+    r.table(&["ALU%", "all%", "half%", "diverg%"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for (abbr, r) in run_suite(Arch::Baseline, &GpuConfig::gtx480()) {
-        let i = &r.stats.instr;
+    for (abbr, report) in run_suite(Arch::Baseline, &cfg) {
+        let i = &report.stats.instr;
         let wi = i.warp_instrs as f64;
         let alu = 100.0 * i.eligible_alu as f64 / wi;
         let all = alu + 100.0 * (i.eligible_sfu + i.eligible_mem) as f64 / wi;
@@ -23,14 +22,12 @@ fn main() {
         for (c, v) in cols.iter_mut().zip([alu, all, half, div]) {
             c.push(v);
         }
-        let cells: Vec<String> = [alu, all, half, div]
-            .iter()
-            .map(|x| format!("{x:.1}"))
-            .collect();
-        println!("{}", row(&abbr, &cells));
+        r.add_cycles(report.stats.cycles);
+        r.row(&abbr, &[alu, all, half, div], |x| format!("{x:.1}"));
     }
-    let avg: Vec<String> = cols.iter().map(|c| format!("{:.1}", mean(c))).collect();
-    println!("{}", row("AVG", &avg));
-    println!();
-    println!("paper: ALU scalar 22%; +7% SFU/memory; +2% half; +9% divergent = 40%.");
+    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
+    r.row("AVG", &avg, |x| format!("{x:.1}"));
+    r.blank();
+    r.note("paper: ALU scalar 22%; +7% SFU/memory; +2% half; +9% divergent = 40%.");
+    r.finish();
 }

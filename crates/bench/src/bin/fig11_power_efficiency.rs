@@ -1,19 +1,17 @@
 //! Figure 11: normalized GPU power efficiency (IPC/W) and the IPC
 //! impact of the +3-cycle compression latency.
 
-use gscalar_bench::{mean, row};
+use gscalar_bench::{mean, Report};
 use gscalar_core::Arch;
 use gscalar_sim::GpuConfig;
 use gscalar_workloads::{suite, Scale};
 
 fn main() {
-    println!("Figure 11: normalized IPC/W (baseline = 1.0) and G-Scalar IPC");
-    let head: Vec<String> = ["ALUscal", "GS-w/o-div", "G-Scalar", "GS(IPC)"]
-        .iter()
-        .map(|s| (*s).into())
-        .collect();
-    println!("{}", row("bench", &head));
+    let mut r = Report::new("fig11_power_efficiency");
     let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Figure 11: normalized IPC/W (baseline = 1.0) and G-Scalar IPC");
+    r.table(&["ALUscal", "GS-w/o-div", "G-Scalar", "GS(IPC)"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for w in suite(Scale::Full) {
         let reports = gscalar_bench::run_workload_all_archs(&w, &cfg);
@@ -23,7 +21,7 @@ fn main() {
         let get = |a: Arch| {
             reports
                 .iter()
-                .find(|r| r.arch == a)
+                .find(|x| x.arch == a)
                 .expect("arch simulated")
         };
         let alu = get(Arch::AluScalar).ipc_per_watt() / base_eff;
@@ -33,23 +31,23 @@ fn main() {
         for (c, v) in cols.iter_mut().zip([alu, nod, gs, gsipc]) {
             c.push(v);
         }
-        let cells: Vec<String> = [alu, nod, gs, gsipc]
-            .iter()
-            .map(|x| format!("{x:.3}"))
-            .collect();
-        println!("{}", row(&w.abbr, &cells));
+        for report in &reports {
+            r.add_cycles(report.stats.cycles);
+        }
+        r.row(&w.abbr, &[alu, nod, gs, gsipc], |x| format!("{x:.3}"));
     }
-    let avg: Vec<String> = cols.iter().map(|c| format!("{:.3}", mean(c))).collect();
-    println!("{}", row("AVG", &avg));
-    println!();
-    println!("paper: G-Scalar +24% IPC/W vs baseline and +15% vs ALU-scalar;");
-    println!("mean IPC degradation 1.7% (LC worst); BP gains 79%.");
-    let gs_avg = mean(&cols[2]);
-    let alu_avg = mean(&cols[0]);
-    println!(
+    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
+    r.row("AVG", &avg, |x| format!("{x:.3}"));
+    r.blank();
+    r.note("paper: G-Scalar +24% IPC/W vs baseline and +15% vs ALU-scalar;");
+    r.note("mean IPC degradation 1.7% (LC worst); BP gains 79%.");
+    let gs_avg = avg[2];
+    let alu_avg = avg[0];
+    r.note(&format!(
         "measured: G-Scalar {:+.1}% vs baseline, {:+.1}% vs ALU-scalar; IPC {:+.1}%.",
         100.0 * (gs_avg - 1.0),
         100.0 * (gs_avg / alu_avg - 1.0),
-        100.0 * (mean(&cols[3]) - 1.0)
-    );
+        100.0 * (avg[3] - 1.0)
+    ));
+    r.finish();
 }

@@ -1,20 +1,19 @@
 //! Figure 12: normalized register-file dynamic power under the four
 //! register-file designs, plus average compression ratios.
 
-use gscalar_bench::{mean, row};
+use gscalar_bench::{mean, Report};
 use gscalar_core::{Arch, Runner};
 use gscalar_power::RfScheme;
 use gscalar_sim::GpuConfig;
 use gscalar_workloads::{suite, Scale};
 
 fn main() {
-    println!("Figure 12: normalized RF dynamic power (baseline = 1.0)");
-    let head: Vec<String> = ["scalar-only", "W-C", "ours", "ratio", "bdi-ratio"]
-        .iter()
-        .map(|s| (*s).into())
-        .collect();
-    println!("{}", row("bench", &head));
-    let runner = Runner::new(GpuConfig::gtx480());
+    let mut r = Report::new("fig12_rf_power");
+    let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Figure 12: normalized RF dynamic power (baseline = 1.0)");
+    r.table(&["scalar-only", "W-C", "ours", "ratio", "bdi-ratio"]);
+    let runner = Runner::new(cfg);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
     for w in suite(Scale::Full) {
         let rows = runner.rf_power_normalized(&w);
@@ -32,12 +31,13 @@ fn main() {
         for (c, v) in cols.iter_mut().zip(vals) {
             c.push(v);
         }
-        let cells: Vec<String> = vals.iter().map(|x| format!("{x:.3}")).collect();
-        println!("{}", row(&w.abbr, &cells));
+        r.add_cycles(report.stats.cycles);
+        r.row(&w.abbr, &vals, |x| format!("{x:.3}"));
     }
-    let avg: Vec<String> = cols.iter().map(|c| format!("{:.3}", mean(c))).collect();
-    println!("{}", row("AVG", &avg));
-    println!();
-    println!("paper: scalar RF 63% of baseline, ours 46% (i.e. -54%); ours beats");
-    println!("W-C slightly; compression ratio ours 2.17 vs BDI 2.13.");
+    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
+    r.row("AVG", &avg, |x| format!("{x:.3}"));
+    r.blank();
+    r.note("paper: scalar RF 63% of baseline, ours 46% (i.e. -54%); ours beats");
+    r.note("W-C slightly; compression ratio ours 2.17 vs BDI 2.13.");
+    r.finish();
 }

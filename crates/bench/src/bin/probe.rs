@@ -1,12 +1,21 @@
 //! Quick calibration probe: per-benchmark characteristics vs paper targets.
+//!
+//! Supports `--scale test` for a fast CI smoke run and `--json [path]`
+//! for the machine-readable manifest (full per-run detail via
+//! [`Report::record_run`]).
 
+use gscalar_bench::{parse_scale, Report};
 use gscalar_core::{Arch, Runner};
 use gscalar_sim::GpuConfig;
-use gscalar_workloads::{suite, Scale};
+use gscalar_workloads::suite;
 use std::time::Instant;
 
 fn main() {
-    let runner = Runner::new(GpuConfig::gtx480());
+    let scale = parse_scale();
+    let mut rep = Report::new("probe");
+    let cfg = GpuConfig::gtx480();
+    rep.config(&cfg);
+    let runner = Runner::new(cfg);
     println!(
         "{:<6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
         "bench",
@@ -21,7 +30,7 @@ fn main() {
         "cycles",
         "t(s)"
     );
-    for w in suite(Scale::Full) {
+    for w in suite(scale) {
         let t0 = Instant::now();
         let r = runner.run(&w, Arch::Baseline);
         let s = &r.stats;
@@ -36,5 +45,7 @@ fn main() {
             100.0*s.instr.eligible_half as f64/wi,
             100.0*s.instr.eligible_total() as f64/wi,
             s.cycles, t0.elapsed().as_secs_f64());
+        rep.record_run(&w.abbr, &r);
     }
+    rep.finish();
 }

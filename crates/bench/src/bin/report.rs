@@ -1,0 +1,105 @@
+//! Run-report tooling: aggregate manifests into a dashboard, or compare
+//! two manifest sets as a regression gate.
+//!
+//! ```text
+//! report aggregate <dir|file> [--merge <out.json>]
+//! report compare <baseline dir|file> <current dir|file>
+//!        [--threshold <pct>] [--allow-missing] [--max-rows <n>]
+//! ```
+//!
+//! `aggregate` prints a markdown dashboard of every manifest and can
+//! write a single merged manifest (the committed `BENCH_*.json` format).
+//! `compare` diffs current against baseline metric-by-metric and exits
+//! non-zero when any delta breaches the threshold (default 2%), which is
+//! what CI runs as the perf/accuracy smoke gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use gscalar_bench::load_manifests;
+use gscalar_metrics::{aggregate_markdown, compare, CompareConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: report aggregate <dir|file> [--merge <out.json>]");
+    eprintln!("       report compare <baseline> <current> [--threshold <pct>]");
+    eprintln!("              [--allow-missing] [--max-rows <n>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("aggregate") => aggregate_cmd(&args[1..]),
+        Some("compare") => compare_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn aggregate_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let manifests = match load_manifests(Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", aggregate_markdown(&manifests));
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        if a == "--merge" {
+            let Some(out) = it.next() else {
+                return usage();
+            };
+            let merged = gscalar_metrics::compare::merge_manifests(&manifests, "BENCH_baseline");
+            if let Err(e) = std::fs::write(out, merged.to_json()) {
+                eprintln!("error writing {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("merged {} manifests into {out}", manifests.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn compare_cmd(args: &[String]) -> ExitCode {
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut cfg = CompareConfig::default();
+    let mut max_rows = 20usize;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => cfg.default_threshold_pct = t,
+                None => return usage(),
+            },
+            "--allow-missing" => cfg.fail_on_missing = false,
+            "--max-rows" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => max_rows = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let load = |p: &str| match load_manifests(Path::new(p)) {
+        Ok(m) => Some(m),
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (load(base_path), load(cur_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let report = compare(&baseline, &current, &cfg);
+    print!("{}", report.render(max_rows));
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,9 +1,11 @@
 //! Table 2: the benchmark suite.
 
+use gscalar_bench::Report;
 use gscalar_workloads::{suite, Scale};
 
 fn main() {
-    println!("Table 2: benchmarks (synthetic reproductions; see DESIGN.md)");
+    let mut r = Report::new("tab02_benchmarks");
+    r.title("Table 2: benchmarks (synthetic reproductions; see DESIGN.md)");
     println!(
         "{:<12} {:<6} {:>8} {:>8} {:>8}",
         "benchmark", "abbr", "ctas", "block", "instrs"
@@ -17,5 +19,9 @@ fn main() {
             w.launch.block.count(),
             w.kernel.len()
         );
+        r.metric(&format!("{}/ctas", w.abbr), w.launch.grid.count() as f64);
+        r.metric(&format!("{}/block", w.abbr), w.launch.block.count() as f64);
+        r.metric(&format!("{}/instrs", w.abbr), w.kernel.len() as f64);
     }
+    r.finish();
 }

@@ -1,6 +1,17 @@
 //! Shared harness utilities for the figure/table binaries.
+//!
+//! Every bench binary builds on [`Report`]: it prints the same
+//! human-readable tables as before *and*, when invoked with `--json
+//! [path]`, writes a machine-readable [`Manifest`] next to the text
+//! output (default `results/<bench>.json`). The `report` binary
+//! aggregates those manifests into a dashboard and compares two sets as
+//! a regression gate.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use gscalar_core::{Arch, RunReport, Runner, Workload};
+use gscalar_metrics::{fnv1a_hex, Manifest};
 use gscalar_sim::GpuConfig;
 use gscalar_workloads::{suite, Scale};
 
@@ -40,4 +51,358 @@ pub fn run_suite(arch: Arch, cfg: &GpuConfig) -> Vec<(String, RunReport)> {
 #[must_use]
 pub fn run_workload_all_archs(w: &Workload, cfg: &GpuConfig) -> Vec<RunReport> {
     Runner::new(cfg.clone()).run_all(w)
+}
+
+/// Parses an optional `--scale test|full` argument (default full).
+#[must_use]
+pub fn parse_scale() -> Scale {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            return match args.next().as_deref() {
+                Some("test") => Scale::Test,
+                _ => Scale::Full,
+            };
+        }
+    }
+    Scale::Full
+}
+
+/// The shared result emitter of every bench binary: prints the familiar
+/// text tables and accumulates a [`Manifest`] of every numeric cell,
+/// written as JSON at [`Report::finish`] when the binary was invoked
+/// with `--json [path]`.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_bench::Report;
+///
+/// let mut r = Report::from_args("demo", ["--json", "/tmp/demo-doc.json"]);
+/// r.title("Demo table");
+/// r.table(&["colA", "colB"]);
+/// r.row("BP", &[1.25, 3.0], |x| format!("{x:.2}"));
+/// r.add_cycles(1000);
+/// let manifest = r.finish().unwrap();
+/// assert_eq!(manifest.get("BP/colA"), Some(1.25));
+/// assert_eq!(manifest.host.sim_cycles, 1000);
+/// std::fs::remove_file("/tmp/demo-doc.json").ok();
+/// ```
+#[derive(Debug)]
+pub struct Report {
+    manifest: Manifest,
+    json_path: Option<PathBuf>,
+    start: Instant,
+    sim_cycles: u64,
+    columns: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report for `bench`, reading `--json [path]` from the
+    /// process arguments.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        Self::from_args(bench, std::env::args().skip(1))
+    }
+
+    /// [`Report::new`] with explicit arguments (for tests).
+    #[must_use]
+    pub fn from_args<I, S>(bench: &str, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut json_path = None;
+        let mut it = args.into_iter().map(Into::into).peekable();
+        while let Some(a) = it.next() {
+            if a == "--json" {
+                let path = match it.peek() {
+                    Some(p) if !p.starts_with("--") => PathBuf::from(it.next().unwrap()),
+                    _ => PathBuf::from(format!("results/{bench}.json")),
+                };
+                json_path = Some(path);
+            }
+        }
+        Report {
+            manifest: Manifest::new(bench),
+            json_path,
+            start: Instant::now(),
+            sim_cycles: 0,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Prints a title/heading line.
+    pub fn title(&self, text: &str) {
+        println!("{text}");
+    }
+
+    /// Prints a free-form note line (closing commentary, paper targets).
+    pub fn note(&self, text: &str) {
+        println!("{text}");
+    }
+
+    /// Prints a blank separator line.
+    pub fn blank(&self) {
+        println!();
+    }
+
+    /// Records the hardware configuration digest in the manifest.
+    pub fn config(&mut self, cfg: &GpuConfig) {
+        self.manifest.config_digest = fnv1a_hex(&format!("{cfg:?}"));
+    }
+
+    /// Prints a table header and remembers the column names for
+    /// [`Report::row`] metric paths.
+    pub fn table(&mut self, cols: &[&str]) {
+        self.columns = cols.iter().map(|c| (*c).to_string()).collect();
+        let cells: Vec<String> = cols.iter().map(|c| (*c).to_string()).collect();
+        println!("{}", row("bench", &cells));
+    }
+
+    /// Prints one table row (each value through `fmt`) and records every
+    /// cell as metric `<label>/<column>`.
+    pub fn row(&mut self, label: &str, vals: &[f64], fmt: impl Fn(f64) -> String) {
+        assert_eq!(
+            vals.len(),
+            self.columns.len(),
+            "row {label} has {} cells for {} columns",
+            vals.len(),
+            self.columns.len()
+        );
+        let cells: Vec<String> = vals.iter().map(|&v| fmt(v)).collect();
+        println!("{}", row(label, &cells));
+        let cols = self.columns.clone();
+        for (col, &v) in cols.iter().zip(vals) {
+            self.metric(&format!("{label}/{col}"), v);
+        }
+    }
+
+    /// Prints a row of pre-formatted cells without recording metrics
+    /// (mixed-format rows record via [`Report::metric`] themselves).
+    pub fn row_text(&self, label: &str, cells: &[String]) {
+        println!("{}", row(label, cells));
+    }
+
+    /// Records one metric in the manifest.
+    pub fn metric(&mut self, path: &str, value: f64) {
+        self.manifest.set(path, value);
+    }
+
+    /// Records the headline statistics of one run under `prefix`:
+    /// cycles, IPC, power, instruction mix, scalar-class breakdown,
+    /// stall breakdown, and per-component energy. Also accumulates the
+    /// run's cycles into the host profile.
+    pub fn record_run(&mut self, prefix: &str, r: &RunReport) {
+        let s = &r.stats;
+        self.add_cycles(s.cycles);
+        let m = &mut self.manifest;
+        m.set(format!("{prefix}/cycles"), s.cycles as f64);
+        m.set(format!("{prefix}/ipc"), s.ipc());
+        m.set(format!("{prefix}/warp_ipc"), s.warp_ipc());
+        m.set(
+            format!("{prefix}/divergent_fraction"),
+            s.divergent_fraction(),
+        );
+        m.set(format!("{prefix}/power_total_w"), r.power.total_w());
+        m.set(format!("{prefix}/ipc_per_watt"), r.ipc_per_watt());
+        let i = &s.instr;
+        m.set(format!("{prefix}/instr/warp"), i.warp_instrs as f64);
+        m.set(format!("{prefix}/instr/thread"), i.thread_instrs as f64);
+        m.set(format!("{prefix}/instr/alu"), i.alu_instrs as f64);
+        m.set(format!("{prefix}/instr/sfu"), i.sfu_instrs as f64);
+        m.set(format!("{prefix}/instr/mem"), i.mem_instrs as f64);
+        m.set(format!("{prefix}/instr/ctrl"), i.ctrl_instrs as f64);
+        m.set(
+            format!("{prefix}/instr/divergent"),
+            i.divergent_instrs as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/eligible_alu"),
+            i.eligible_alu as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/eligible_sfu"),
+            i.eligible_sfu as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/eligible_mem"),
+            i.eligible_mem as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/eligible_half"),
+            i.eligible_half as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/eligible_divergent"),
+            i.eligible_divergent as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/executed_scalar"),
+            i.executed_scalar as f64,
+        );
+        m.set(
+            format!("{prefix}/scalar/executed_half"),
+            i.executed_half as f64,
+        );
+        for (reason, count) in s.pipe.stalls.iter() {
+            m.set(format!("{prefix}/stall/{}", reason.label()), count as f64);
+        }
+        // Energy by component: power × runtime (the linear accounting
+        // the telemetry invariant is built on).
+        for (name, w) in &r.power.components {
+            m.set(
+                format!("{prefix}/energy/{name}_pj"),
+                w * r.power.runtime_s * 1e12,
+            );
+        }
+        m.set(
+            format!("{prefix}/energy/static_pj"),
+            r.power.static_w * r.power.runtime_s * 1e12,
+        );
+    }
+
+    /// Accumulates simulated cycles into the host self-profile.
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.sim_cycles += cycles;
+    }
+
+    /// Finalizes the manifest: fills the host profile and, when `--json`
+    /// was given, writes the JSON file (creating parent directories).
+    /// Returns the manifest for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the JSON file cannot be written — a bench invoked
+    /// with `--json` must not silently produce nothing.
+    pub fn finish(mut self) -> Option<Manifest> {
+        let wall = self.start.elapsed().as_secs_f64();
+        self.manifest.host = gscalar_metrics::HostProfile {
+            wall_time_s: wall,
+            sim_cycles: self.sim_cycles,
+            cycles_per_host_s: if wall > 0.0 {
+                self.sim_cycles as f64 / wall
+            } else {
+                0.0
+            },
+        };
+        if let Some(path) = &self.json_path {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+                }
+            }
+            std::fs::write(path, self.manifest.to_json())
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+        }
+        Some(self.manifest)
+    }
+}
+
+/// Loads manifests from `path`: a single `.json` file or a directory
+/// (every `*.json` inside, sorted by file name).
+///
+/// # Errors
+///
+/// Returns a message when the path is unreadable or a file fails to
+/// parse.
+pub fn load_manifests(path: &Path) -> Result<Vec<Manifest>, String> {
+    let read_one = |p: &Path| -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        Manifest::from_json(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no *.json manifests in {}", path.display()));
+        }
+        files.iter().map(|p| read_one(p)).collect()
+    } else {
+        Ok(vec![read_one(path)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_without_json_flag_writes_nothing() {
+        let r = Report::from_args("x", Vec::<String>::new());
+        assert!(r.json_path.is_none());
+        let m = r.finish().unwrap();
+        assert_eq!(m.bench, "x");
+    }
+
+    #[test]
+    fn report_json_default_path_is_results_dir() {
+        let r = Report::from_args("fig99", ["--json"]);
+        assert_eq!(
+            r.json_path.as_deref(),
+            Some(Path::new("results/fig99.json"))
+        );
+    }
+
+    #[test]
+    fn row_records_label_column_metrics() {
+        let mut r = Report::from_args("t", Vec::<String>::new());
+        r.table(&["a%", "b%"]);
+        r.row("BP", &[1.0, 2.0], |x| format!("{x:.1}"));
+        r.row("AVG", &[1.5, 2.5], |x| format!("{x:.1}"));
+        let m = r.finish().unwrap();
+        assert_eq!(m.get("BP/a%"), Some(1.0));
+        assert_eq!(m.get("AVG/b%"), Some(2.5));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("gscalar-bench-test");
+        let path = dir.join("roundtrip.json");
+        let mut r = Report::from_args("rt", ["--json".to_string(), path.display().to_string()]);
+        r.metric("k", 4.25);
+        r.config(&GpuConfig::test_small());
+        r.add_cycles(123);
+        let written = r.finish().unwrap();
+        let loaded = load_manifests(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0], written);
+        assert_eq!(loaded[0].get("k"), Some(4.25));
+        assert_eq!(loaded[0].host.sim_cycles, 123);
+        assert_eq!(loaded[0].config_digest.len(), 16);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_run_covers_headline_and_breakdowns() {
+        use gscalar_isa::{KernelBuilder, LaunchConfig, Operand, SReg};
+        let mut b = KernelBuilder::new("k");
+        let tid = b.s2r(SReg::TidX);
+        b.iadd(tid.into(), Operand::Imm(1));
+        b.exit();
+        let w = Workload::new(
+            "k",
+            "K",
+            b.build().unwrap(),
+            LaunchConfig::linear(1, 32),
+            gscalar_sim::memory::GlobalMemory::new(),
+        );
+        let report = Runner::new(GpuConfig::test_small()).run(&w, Arch::GScalar);
+        let mut r = Report::from_args("t", Vec::<String>::new());
+        r.record_run("K", &report);
+        let m = r.finish().unwrap();
+        assert_eq!(m.get("K/cycles"), Some(report.stats.cycles as f64));
+        assert!(m.get("K/instr/warp").is_some());
+        assert!(m.get("K/scalar/eligible_alu").is_some());
+        assert!(m.get("K/stall/drained").is_some());
+        assert!(m.get("K/energy/register-file_pj").is_some());
+        assert_eq!(m.host.sim_cycles, report.stats.cycles);
+    }
 }

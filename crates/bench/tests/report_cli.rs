@@ -1,0 +1,114 @@
+//! End-to-end tests for the `report` binary: `compare` must exit
+//! non-zero when a metric moves past the threshold (this is the CI
+//! regression gate), zero when everything is within bounds, and
+//! `aggregate` must cover every manifest it is given.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn manifest(bench: &str, cycles: f64) -> String {
+    format!(
+        "{{\"schema\":1,\"bench\":\"{bench}\",\"config_digest\":\"abc\",\
+         \"host\":{{\"wall_time_s\":1.0,\"sim_cycles\":100,\"cycles_per_host_s\":100.0}},\
+         \"metrics\":{{\"gpu/cycles\":{cycles},\"gpu/ipc\":2.5}}}}"
+    )
+}
+
+fn write_set(dir: &PathBuf, cycles: f64) {
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("probe.json"), manifest("probe", cycles)).unwrap();
+}
+
+fn report(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(args)
+        .output()
+        .expect("report binary runs")
+}
+
+#[test]
+fn compare_exits_nonzero_on_breach() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-breach");
+    let base = root.join("base");
+    let cur = root.join("cur");
+    write_set(&base, 1000.0);
+    write_set(&cur, 1500.0); // +50%, far past the 2% default threshold
+    let out = report(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "breach must fail the gate; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("result: FAIL"), "got: {text}");
+    assert!(text.contains("BREACH"), "got: {text}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn compare_exits_zero_when_identical() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-pass");
+    let base = root.join("base");
+    let cur = root.join("cur");
+    write_set(&base, 1000.0);
+    write_set(&cur, 1000.0);
+    let out = report(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "identical sets must pass; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("result: PASS"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn compare_respects_custom_threshold() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-threshold");
+    let base = root.join("base");
+    let cur = root.join("cur");
+    write_set(&base, 1000.0);
+    write_set(&cur, 1030.0); // +3%: breaches 2% default, passes 5%
+    let fails = report(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(!fails.status.success());
+    let passes = report(&[
+        "compare",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "5",
+    ]);
+    assert!(
+        passes.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&passes.stdout)
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn aggregate_covers_every_manifest() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-agg");
+    std::fs::create_dir_all(&root).unwrap();
+    for name in ["alpha", "beta", "gamma"] {
+        std::fs::write(root.join(format!("{name}.json")), manifest(name, 500.0)).unwrap();
+    }
+    let out = report(&["aggregate", root.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["alpha", "beta", "gamma"] {
+        assert!(
+            text.contains(&format!("## {name}")),
+            "missing {name}: {text}"
+        );
+    }
+    assert!(text.contains("3 manifests aggregated"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn unknown_subcommand_exits_with_usage() {
+    let out = report(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

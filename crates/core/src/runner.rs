@@ -1,9 +1,10 @@
 //! Workload container and the high-level simulation runner.
 
 use gscalar_isa::{Kernel, LaunchConfig};
-use gscalar_power::{chip_power, EnergyModel, PowerReport, RfScheme};
+use gscalar_metrics::MetricsRegistry;
+use gscalar_power::{chip_power, EnergyModel, PowerReport, PowerTimeline, RfScheme};
 use gscalar_sim::memory::GlobalMemory;
-use gscalar_sim::{Gpu, GpuConfig, Stats};
+use gscalar_sim::{Gpu, GpuConfig, MetricsObserver, RunObserver, Stats};
 use gscalar_trace::Tracer;
 
 use crate::arch::Arch;
@@ -60,6 +61,38 @@ impl RunReport {
     #[must_use]
     pub fn ipc_per_watt(&self) -> f64 {
         self.power.ipc_per_watt()
+    }
+}
+
+/// A fully-instrumented run: report plus interval power timeline plus a
+/// populated metrics registry (see [`Runner::run_metered`]).
+#[derive(Debug)]
+pub struct MeteredRun {
+    /// Statistics and one-shot power, as from [`Runner::run`].
+    pub report: RunReport,
+    /// Interval per-component power telemetry.
+    pub timeline: PowerTimeline,
+    /// Every simulator counter (`gpu/…`, `sm<i>/…`), interval series
+    /// (`gpu/interval/…`), power series (`power/…`) and energy summary
+    /// gauges (`energy/…`).
+    pub registry: MetricsRegistry,
+}
+
+/// Forwards observer callbacks to two observers watching the same run.
+struct PairObserver<'a> {
+    a: &'a mut dyn RunObserver,
+    b: &'a mut dyn RunObserver,
+}
+
+impl RunObserver for PairObserver<'_> {
+    fn sample(&mut self, cycle: u64, stats: &Stats) {
+        self.a.sample(cycle, stats);
+        self.b.sample(cycle, stats);
+    }
+
+    fn finish(&mut self, cycle: u64, merged: &Stats, per_sm: &[Stats]) {
+        self.a.finish(cycle, merged, per_sm);
+        self.b.finish(cycle, merged, per_sm);
     }
 }
 
@@ -154,6 +187,78 @@ impl Runner {
             &self.energy,
         );
         RunReport { arch, stats, power }
+    }
+
+    /// Runs `workload` on `arch` with full instrumentation: a metrics
+    /// registry fed by the simulator's counters and an interval power
+    /// timeline sampled every `sample_interval` cycles (0 still yields
+    /// one closing interval covering the whole run).
+    ///
+    /// The returned registry also carries per-component energy gauges
+    /// (`energy/<component>_pj`, `energy/total_pj`) and the power
+    /// timeline as `power/<component>` series, so a single flatten
+    /// produces a complete machine-readable record of the run.
+    #[must_use]
+    pub fn run_metered(&self, workload: &Workload, arch: Arch, sample_interval: u64) -> MeteredRun {
+        let mut gpu = Gpu::new(self.cfg.clone(), arch.config());
+        let mut mem = workload.memory.clone();
+        let mut metrics = MetricsObserver::new();
+        let mut timeline = PowerTimeline::new(
+            &self.cfg,
+            arch.rf_scheme(),
+            arch.has_codec(),
+            self.energy.clone(),
+        );
+        let stats = {
+            let mut pair = PairObserver {
+                a: &mut metrics,
+                b: &mut timeline,
+            };
+            gpu.run_observed(
+                &workload.kernel,
+                workload.launch,
+                &mut mem,
+                &mut Tracer::off(),
+                0,
+                sample_interval,
+                &mut pair,
+            )
+        };
+        let power = chip_power(
+            &stats,
+            &self.cfg,
+            arch.rf_scheme(),
+            arch.has_codec(),
+            &self.energy,
+        );
+        let mut registry = metrics.into_registry();
+        timeline.export(&mut registry.scope("power"));
+        let mut e = registry.scope("energy");
+        for (name, pj) in gscalar_power::component_energies_pj(
+            &stats,
+            arch.rf_scheme(),
+            arch.has_codec(),
+            &self.energy,
+        ) {
+            e.gauge_set(&format!("{name}_pj"), pj);
+        }
+        e.gauge_set(
+            "total_pj",
+            gscalar_power::total_energy_pj(
+                &stats,
+                &self.cfg,
+                arch.rf_scheme(),
+                arch.has_codec(),
+                &self.energy,
+            ),
+        );
+        registry.gauge_set("power/total_w", power.total_w());
+        registry.gauge_set("power/ipc_per_watt", power.ipc_per_watt());
+        MeteredRun {
+            report: RunReport { arch, stats, power },
+            timeline,
+            registry,
+        }
     }
 
     /// Runs `workload` on every Figure 11 architecture.
@@ -259,6 +364,29 @@ mod tests {
             gs.ipc_per_watt(),
             base.ipc_per_watt()
         );
+    }
+
+    #[test]
+    fn run_metered_matches_plain_run_and_integrates() {
+        let runner = Runner::new(GpuConfig::test_small());
+        let w = mixed_workload();
+        let plain = runner.run(&w, Arch::GScalar);
+        let metered = runner.run_metered(&w, Arch::GScalar, 16);
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(metered.report.stats, plain.stats);
+        assert_eq!(metered.report.power, plain.power);
+        // Registry carries the merged counters.
+        assert_eq!(
+            metered.registry.counter("gpu/cycles"),
+            Some(plain.stats.cycles)
+        );
+        // Timeline integral equals the one-shot total energy.
+        let total = metered.registry.gauge("energy/total_pj").unwrap();
+        let integrated = metered.timeline.integrated_energy_pj();
+        assert!((integrated - total).abs() <= 1e-6 * total);
+        // And the power series exists per component.
+        assert!(metered.registry.series("power/register-file").is_some());
+        assert!(metered.registry.gauge("power/total_w").unwrap() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! Aggregate-metrics layer for the G-Scalar reproduction.
+//!
+//! This crate is deliberately dependency-free (like `gscalar-trace`, it
+//! sits *below* the simulator in the workspace graph): higher layers
+//! push plain numbers into a [`MetricsRegistry`] and serialize
+//! [`Manifest`]s through the in-repo [`json`] module, so the workspace
+//! stays hermetic — no serde, no registry access.
+//!
+//! The pieces:
+//!
+//! * [`MetricsRegistry`] — a hierarchical store of named metrics:
+//!   monotonic [counters](Metric::Counter), instantaneous
+//!   [gauges](Metric::Gauge), log₂-bucketed [`Histogram`]s, and
+//!   interval [`TimeSeries`]. Paths are `/`-separated
+//!   (`"BP/sm0/pipe/issued"`); [`Scope`] prepends a prefix so callers
+//!   write relative names.
+//! * [`json`] — a minimal JSON value type with a writer *and* parser,
+//!   sufficient for the manifest schema.
+//! * [`manifest`] — the [`Manifest`] run-report every bench binary
+//!   emits alongside its text output: config digest, host
+//!   self-profiling, and a flat metric map.
+//! * [`compare`] — baseline-vs-current manifest comparison with
+//!   per-metric thresholds (the regression harness) and the markdown
+//!   dashboard aggregator.
+//!
+//! # Examples
+//!
+//! ```
+//! use gscalar_metrics::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let mut sm = reg.scope("gpu/sm0");
+//! sm.counter_add("pipe/issued", 120);
+//! sm.histogram_record("mem/latency", 37);
+//! sm.series_push("ipc", 64, 1.5);
+//! assert_eq!(reg.counter("gpu/sm0/pipe/issued"), Some(120));
+//! let flat = reg.flatten();
+//! assert!(flat.iter().any(|(k, _)| k == "gpu/sm0/pipe/issued"));
+//! ```
+
+pub mod compare;
+pub mod json;
+pub mod manifest;
+
+pub use compare::{aggregate_markdown, compare, CompareConfig, CompareReport, Delta};
+pub use manifest::{HostProfile, Manifest};
+
+use std::collections::BTreeMap;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose highest set bit is `i` (bucket 0
+/// counts the values 0 and 1), so the 65 buckets cover the full `u64`
+/// range with no configuration. Count, sum, min and max are tracked
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_metrics::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in [1, 2, 3, 900] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.sum(), 906);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(900));
+/// assert_eq!(h.bucket(1), 2); // 2 and 3 share the [2,4) bucket
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: the position of its highest set bit.
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()).saturating_sub(1) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples in bucket `i` (values whose highest set bit is `i`).
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An interval-sampled time series of `(cycle, value)` points.
+///
+/// Pushes must be cycle-monotonic; out-of-order samples are rejected so
+/// downstream integration (power timelines, CSV exports) never sees a
+/// negative interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Appends a point; ignored if `cycle` does not advance past the
+    /// last recorded point.
+    pub fn push(&mut self, cycle: u64, value: f64) {
+        if self.points.last().is_none_or(|&(c, _)| cycle > c) {
+            self.points.push((cycle, value));
+        }
+    }
+
+    /// The recorded points, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// The most recent value (`None` when empty).
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// One named metric in a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// An instantaneous floating-point value.
+    Gauge(f64),
+    /// A log₂-bucketed distribution.
+    Histogram(Box<Histogram>),
+    /// An interval time series.
+    Series(TimeSeries),
+}
+
+/// A hierarchical store of named metrics.
+///
+/// Paths are `/`-separated strings; the registry itself is a flat
+/// ordered map, and hierarchy is purely a naming convention — which
+/// keeps lookups trivial and serialization deterministic (keys
+/// iterate in sorted order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer that prefixes every path with `prefix` + `/`.
+    pub fn scope(&mut self, prefix: &str) -> Scope<'_> {
+        Scope {
+            reg: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Adds `n` to the counter at `path`, creating it at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-counter metric.
+    pub fn counter_add(&mut self, path: &str, n: u64) {
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            other => panic!("metric {path} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge at `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-gauge metric.
+    pub fn gauge_set(&mut self, path: &str, v: f64) {
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("metric {path} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into the histogram at `path`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-histogram metric.
+    pub fn histogram_record(&mut self, path: &str, v: u64) {
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.record(v),
+            other => panic!("metric {path} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Appends `(cycle, v)` to the series at `path`, creating it if
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-series metric.
+    pub fn series_push(&mut self, path: &str, cycle: u64, v: f64) {
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Series(TimeSeries::default()))
+        {
+            Metric::Series(s) => s.push(cycle, v),
+            other => panic!("metric {path} is not a series: {other:?}"),
+        }
+    }
+
+    /// The metric at `path`, if any.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&Metric> {
+        self.entries.get(path)
+    }
+
+    /// Counter value at `path` (`None` if absent or not a counter).
+    #[must_use]
+    pub fn counter(&self, path: &str) -> Option<u64> {
+        match self.entries.get(path) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value at `path` (`None` if absent or not a gauge).
+    #[must_use]
+    pub fn gauge(&self, path: &str) -> Option<f64> {
+        match self.entries.get(path) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Series at `path` (`None` if absent or not a series).
+    #[must_use]
+    pub fn series(&self, path: &str) -> Option<&TimeSeries> {
+        match self.entries.get(path) {
+            Some(Metric::Series(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(path, metric)` in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Flattens every metric to scalar `(path, value)` pairs in sorted
+    /// path order — the form manifests carry. Counters and gauges map
+    /// directly; a histogram contributes `<path>/count`, `/sum`,
+    /// `/mean`, `/min` and `/max`; a series contributes `/points` and
+    /// `/last`.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (path, m) in &self.entries {
+            match m {
+                Metric::Counter(c) => out.push((path.clone(), *c as f64)),
+                Metric::Gauge(g) => out.push((path.clone(), *g)),
+                Metric::Histogram(h) => {
+                    out.push((format!("{path}/count"), h.count() as f64));
+                    out.push((format!("{path}/sum"), h.sum() as f64));
+                    out.push((format!("{path}/mean"), h.mean()));
+                    out.push((format!("{path}/min"), h.min().unwrap_or(0) as f64));
+                    out.push((format!("{path}/max"), h.max().unwrap_or(0) as f64));
+                }
+                Metric::Series(s) => {
+                    out.push((format!("{path}/points"), s.len() as f64));
+                    out.push((format!("{path}/last"), s.last().unwrap_or(0.0)));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// A prefix-scoped writer into a [`MetricsRegistry`].
+///
+/// Created by [`MetricsRegistry::scope`]; every method forwards to the
+/// registry with `prefix/` prepended to the path.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    reg: &'a mut MetricsRegistry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    fn path(&self, name: &str) -> String {
+        format!("{}/{name}", self.prefix)
+    }
+
+    /// A sub-scope nested one level deeper.
+    pub fn scope(&mut self, name: &str) -> Scope<'_> {
+        Scope {
+            prefix: self.path(name),
+            reg: self.reg,
+        }
+    }
+
+    /// Adds `n` to the counter at `name` under this scope.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        let p = self.path(name);
+        self.reg.counter_add(&p, n);
+    }
+
+    /// Sets the gauge at `name` under this scope.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        let p = self.path(name);
+        self.reg.gauge_set(&p, v);
+    }
+
+    /// Records into the histogram at `name` under this scope.
+    pub fn histogram_record(&mut self, name: &str, v: u64) {
+        let p = self.path(name);
+        self.reg.histogram_record(&p, v);
+    }
+
+    /// Appends to the series at `name` under this scope.
+    pub fn series_push(&mut self, name: &str, cycle: u64, v: f64) {
+        let p = self.path(name);
+        self.reg.series_push(&p, cycle, v);
+    }
+}
+
+/// FNV-1a hash of a string, rendered as 16 hex digits — the config
+/// digest every manifest carries.
+///
+/// # Examples
+///
+/// ```
+/// let d = gscalar_metrics::fnv1a_hex("GpuConfig { num_sms: 15 }");
+/// assert_eq!(d.len(), 16);
+/// assert_eq!(d, gscalar_metrics::fnv1a_hex("GpuConfig { num_sms: 15 }"));
+/// ```
+#[must_use]
+pub fn fnv1a_hex(s: &str) -> String {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_scope_prefixes() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("a/b", 1);
+        reg.counter_add("a/b", 2);
+        let mut s = reg.scope("gpu");
+        s.counter_add("issued", 5);
+        let mut sub = s.scope("sm0");
+        sub.counter_add("issued", 7);
+        assert_eq!(reg.counter("a/b"), Some(3));
+        assert_eq!(reg.counter("gpu/issued"), Some(5));
+        assert_eq!(reg.counter("gpu/sm0/issued"), Some(7));
+        assert_eq!(reg.counter("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("x", 1.0);
+        reg.counter_add("x", 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(1024);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 1); // 2
+        assert_eq!(h.bucket(10), 1); // 1024
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert!((h.mean() - 1027.0 / 4.0).abs() < 1e-12);
+        let mut other = Histogram::default();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.bucket(63), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn series_rejects_non_monotonic() {
+        let mut s = TimeSeries::default();
+        s.push(10, 1.0);
+        s.push(10, 2.0); // same cycle: rejected
+        s.push(5, 3.0); // backwards: rejected
+        s.push(20, 4.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some(4.0));
+        assert_eq!(s.points(), &[(10, 1.0), (20, 4.0)]);
+    }
+
+    #[test]
+    fn flatten_expands_compound_metrics_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("z/count", 9);
+        reg.gauge_set("a/ipc", 1.5);
+        reg.histogram_record("m/lat", 8);
+        reg.series_push("t/ipc", 100, 0.5);
+        let flat = reg.flatten();
+        let keys: Vec<&str> = flat.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted: {keys:?}");
+        assert!(keys.contains(&"m/lat/mean"));
+        assert!(keys.contains(&"t/ipc/last"));
+        let get = |k: &str| flat.iter().find(|(p, _)| p == k).unwrap().1;
+        assert_eq!(get("z/count"), 9.0);
+        assert_eq!(get("a/ipc"), 1.5);
+        assert_eq!(get("m/lat/sum"), 8.0);
+        assert_eq!(get("t/ipc/points"), 1.0);
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a_hex("abc"), fnv1a_hex("abc"));
+        assert_ne!(fnv1a_hex("abc"), fnv1a_hex("abd"));
+    }
+}

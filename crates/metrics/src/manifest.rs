@@ -1,0 +1,224 @@
+//! The machine-readable run report every bench binary emits.
+//!
+//! A [`Manifest`] is the JSON sibling of a `results/*.txt` file: the
+//! same run, but as a flat map of metric paths to numbers plus enough
+//! provenance (bench name, config digest, schema version) and host
+//! self-profiling (wall time, simulated cycles per host-second) to
+//! compare runs across commits. The `metrics` map is what
+//! [`compare`](crate::compare) diffs; host numbers are deliberately
+//! kept *outside* it, because wall time is machine-dependent and must
+//! never gate a regression check.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Host-side self-profiling for one bench run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostProfile {
+    /// Wall-clock time of the whole binary in seconds.
+    pub wall_time_s: f64,
+    /// Total simulated cycles across every simulation the binary ran.
+    pub sim_cycles: u64,
+    /// Simulation throughput: simulated cycles per host-second.
+    pub cycles_per_host_s: f64,
+}
+
+/// A machine-readable run report.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_metrics::Manifest;
+///
+/// let mut m = Manifest::new("fig01_divergence");
+/// m.config_digest = "0123456789abcdef".into();
+/// m.set("BP/divergent_pct", 12.5);
+/// let text = m.to_json();
+/// let back = Manifest::from_json(&text).unwrap();
+/// assert_eq!(back, m);
+/// assert_eq!(back.get("BP/divergent_pct"), Some(12.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Schema version (bumped on incompatible layout changes).
+    pub schema: u64,
+    /// Bench binary name (e.g. `"fig11_power_efficiency"`).
+    pub bench: String,
+    /// FNV-1a digest of the hardware configuration used.
+    pub config_digest: String,
+    /// Host self-profiling.
+    pub host: HostProfile,
+    /// Flat metric map: `/`-separated path → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Current manifest schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+impl Manifest {
+    /// Creates an empty manifest for `bench`.
+    #[must_use]
+    pub fn new(bench: impl Into<String>) -> Self {
+        Manifest {
+            schema: SCHEMA_VERSION,
+            bench: bench.into(),
+            config_digest: String::new(),
+            host: HostProfile::default(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Sets metric `path` to `value` (overwriting any previous value).
+    /// Non-finite values are stored as 0.0 — JSON cannot carry them,
+    /// and a NaN in a manifest would poison every later comparison.
+    pub fn set(&mut self, path: impl Into<String>, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.metrics.insert(path.into(), v);
+    }
+
+    /// The value of metric `path`, if present.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<f64> {
+        self.metrics.get(path).copied()
+    }
+
+    /// Serializes to a JSON document (sorted keys, deterministic).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let metrics = Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let host = Json::obj([
+            ("wall_time_s".to_string(), Json::Num(self.host.wall_time_s)),
+            (
+                "sim_cycles".to_string(),
+                Json::Num(self.host.sim_cycles as f64),
+            ),
+            (
+                "cycles_per_host_s".to_string(),
+                Json::Num(self.host.cycles_per_host_s),
+            ),
+        ]);
+        let doc = Json::obj([
+            ("schema".to_string(), Json::Num(self.schema as f64)),
+            ("bench".to_string(), Json::Str(self.bench.clone())),
+            (
+                "config_digest".to_string(),
+                Json::Str(self.config_digest.clone()),
+            ),
+            ("host".to_string(), host),
+            ("metrics".to_string(), metrics),
+        ]);
+        doc.to_string()
+    }
+
+    /// Parses a manifest from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON, misses a
+    /// required field, or declares an unsupported schema version.
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_f64)
+            .ok_or("manifest missing numeric 'schema'")? as u64;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported manifest schema {schema} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let bench = doc
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing string 'bench'")?
+            .to_string();
+        let config_digest = doc
+            .get("config_digest")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let host_v = doc.get("host");
+        let hf = |k: &str| {
+            host_v
+                .and_then(|h| h.get(k))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        let host = HostProfile {
+            wall_time_s: hf("wall_time_s"),
+            sim_cycles: hf("sim_cycles") as u64,
+            cycles_per_host_s: hf("cycles_per_host_s"),
+        };
+        let metrics_obj = doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("manifest missing object 'metrics'")?;
+        let mut metrics = BTreeMap::new();
+        for (k, v) in metrics_obj {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("metric {k:?} is not a number"))?;
+            metrics.insert(k.clone(), n);
+        }
+        Ok(Manifest {
+            schema,
+            bench,
+            config_digest,
+            host,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("fig12_rf_power");
+        m.config_digest = "feedfacecafebeef".into();
+        m.host = HostProfile {
+            wall_time_s: 2.5,
+            sim_cycles: 1_000_000,
+            cycles_per_host_s: 400_000.0,
+        };
+        m.set("BP/ours_norm", 0.452);
+        m.set("suite/avg/ours_norm", 0.47);
+        m
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let back = Manifest::from_json(&m.to_json()).expect("parses");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn non_finite_values_are_sanitized() {
+        let mut m = Manifest::new("x");
+        m.set("nan", f64::NAN);
+        m.set("inf", f64::INFINITY);
+        assert_eq!(m.get("nan"), Some(0.0));
+        assert_eq!(m.get("inf"), Some(0.0));
+        // And the document still parses.
+        assert!(Manifest::from_json(&m.to_json()).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_fields() {
+        let mut m = sample();
+        m.schema = 99;
+        assert!(Manifest::from_json(&m.to_json())
+            .unwrap_err()
+            .contains("schema"));
+        assert!(Manifest::from_json("{}").is_err());
+        assert!(Manifest::from_json("{\"schema\":1,\"bench\":\"b\"}").is_err());
+    }
+}

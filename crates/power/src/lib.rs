@@ -10,7 +10,9 @@
 //! * [`chip_power`] — the full chip breakdown and IPC/W (Figure 11);
 //! * [`rf_energy_pj`] + [`RfScheme`] — register-file dynamic energy
 //!   under all four designs of Figure 12 from a single simulation run;
-//! * [`synthesis`] — Table 3 and the Section 5.1 area/power overheads.
+//! * [`synthesis`] — Table 3 and the Section 5.1 area/power overheads;
+//! * [`telemetry`] — interval-sampled per-component power timelines
+//!   guaranteed to integrate back to [`model::total_energy_pj`].
 //!
 //! # Examples
 //!
@@ -34,6 +36,11 @@
 pub mod energy;
 pub mod model;
 pub mod synthesis;
+pub mod telemetry;
 
 pub use energy::EnergyModel;
-pub use model::{chip_power, rf_energy_pj, sfu_power_w, PowerReport, RfScheme};
+pub use model::{
+    chip_power, component_energies_pj, rf_energy_pj, sfu_power_w, total_energy_pj, PowerReport,
+    RfScheme,
+};
+pub use telemetry::{PowerInterval, PowerTimeline};

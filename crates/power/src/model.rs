@@ -112,22 +112,22 @@ impl std::fmt::Display for PowerReport {
     }
 }
 
-/// Computes the chip power breakdown for a run, with the register file
-/// modeled under `rf_scheme` (the scheme the simulated architecture
-/// actually uses).
+/// Per-component dynamic energy totals in picojoules, in the fixed
+/// Figure-11 component order.
 ///
-/// `count_codec` adds the compressor/decompressor event energy — true
-/// for the compression-based architectures.
+/// This is the single accounting point shared by [`chip_power`] (which
+/// divides by runtime to get watts), the interval power telemetry in
+/// [`telemetry`](crate::telemetry) (which differences cumulative
+/// energies between samples), and [`total_energy_pj`]. Every component
+/// is linear in the [`Stats`] counters, which is what makes the
+/// timeline-integrates-to-total invariant hold structurally.
 #[must_use]
-pub fn chip_power(
+pub fn component_energies_pj(
     stats: &Stats,
-    cfg: &GpuConfig,
     rf_scheme: RfScheme,
     count_codec: bool,
     e: &EnergyModel,
-) -> PowerReport {
-    let runtime_s = (stats.cycles.max(1)) as f64 / cfg.sm_clock_hz;
-    let pj = |x: f64| x * 1e-12 / runtime_s; // pJ total → watts
+) -> Vec<(&'static str, f64)> {
     let exec = stats.exec.int_lane_ops as f64 * e.int_lane_pj
         + stats.exec.fp_lane_ops as f64 * e.fp_lane_pj
         + stats.exec.sfu_lane_ops as f64 * e.sfu_lane_pj;
@@ -149,22 +149,62 @@ pub fn chip_power(
     let shared = stats.mem.shared_accesses as f64 * e.shared_pj;
     let noc = stats.mem.noc_flits as f64 * e.noc_flit_pj;
     let frontend = stats.instr.warp_instrs as f64 * e.frontend_pj;
+    vec![
+        ("exec-units", exec),
+        ("register-file", rf),
+        ("crossbar", xbar),
+        ("operand-collectors", oc),
+        ("codec", codec),
+        ("l1", l1),
+        ("l2", l2),
+        ("dram", dram),
+        ("shared-mem", shared),
+        ("noc", noc),
+        ("frontend", frontend),
+    ]
+}
 
+/// Total chip energy for a run in picojoules: every dynamic component
+/// plus static power integrated over the runtime. This is the one-shot
+/// figure the interval power timeline must integrate back to.
+#[must_use]
+pub fn total_energy_pj(
+    stats: &Stats,
+    cfg: &GpuConfig,
+    rf_scheme: RfScheme,
+    count_codec: bool,
+    e: &EnergyModel,
+) -> f64 {
+    let runtime_s = (stats.cycles.max(1)) as f64 / cfg.sm_clock_hz;
+    let dynamic: f64 = component_energies_pj(stats, rf_scheme, count_codec, e)
+        .iter()
+        .map(|(_, pj)| pj)
+        .sum();
+    dynamic + e.static_w * runtime_s * 1e12
+}
+
+/// Computes the chip power breakdown for a run, with the register file
+/// modeled under `rf_scheme` (the scheme the simulated architecture
+/// actually uses).
+///
+/// `count_codec` adds the compressor/decompressor event energy — true
+/// for the compression-based architectures.
+#[must_use]
+pub fn chip_power(
+    stats: &Stats,
+    cfg: &GpuConfig,
+    rf_scheme: RfScheme,
+    count_codec: bool,
+    e: &EnergyModel,
+) -> PowerReport {
+    let runtime_s = (stats.cycles.max(1)) as f64 / cfg.sm_clock_hz;
+    let components = component_energies_pj(stats, rf_scheme, count_codec, e)
+        .into_iter()
+        .map(|(name, pj)| (name, pj * 1e-12 / runtime_s))
+        .collect();
     PowerReport {
         runtime_s,
-        components: vec![
-            ("exec-units", pj(exec)),
-            ("register-file", pj(rf)),
-            ("crossbar", pj(xbar)),
-            ("operand-collectors", pj(oc)),
-            ("codec", pj(codec)),
-            ("l1", pj(l1)),
-            ("l2", pj(l2)),
-            ("dram", pj(dram)),
-            ("shared-mem", pj(shared)),
-            ("noc", pj(noc)),
-            ("frontend", pj(frontend)),
-        ],
+        components,
         static_w: e.static_w,
         ipc: stats.ipc(),
     }

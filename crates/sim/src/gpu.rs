@@ -13,6 +13,36 @@ use crate::stats::Stats;
 /// spinning forever (a workload bug, not a hardware condition).
 const WATCHDOG_CYCLES: u64 = 2_000_000_000;
 
+/// Receives interval samples and the final state of a simulation run.
+///
+/// Implementations feed metrics registries and power timelines without
+/// the run loop knowing about either. [`Gpu::run_observed`] calls
+/// [`sample`](RunObserver::sample) with *cumulative* merged-across-SMs
+/// statistics each time the clock crosses a multiple of the sample
+/// interval (idle-skip jumps may cross several boundaries; one sample at
+/// the latest boundary is delivered, since the counters are cumulative),
+/// and [`finish`](RunObserver::finish) exactly once at the end.
+pub trait RunObserver {
+    /// One interval sample: `stats` is the cumulative merged state of
+    /// every SM with `stats.cycles` set to the boundary cycle.
+    fn sample(&mut self, cycle: u64, stats: &Stats);
+
+    /// The run is complete: `merged` is the final aggregate (identical
+    /// to the run's return value) and `per_sm` holds each SM's own
+    /// statistics.
+    fn finish(&mut self, cycle: u64, merged: &Stats, per_sm: &[Stats]) {
+        let _ = (cycle, merged, per_sm);
+    }
+}
+
+/// The no-op observer used by [`Gpu::run`] and [`Gpu::run_traced`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn sample(&mut self, _cycle: u64, _stats: &Stats) {}
+}
+
 /// A complete GPU executing one kernel launch at a time.
 ///
 /// # Examples
@@ -69,6 +99,36 @@ impl Gpu {
         self.run_traced(kernel, launch, gmem, &mut Tracer::off(), 0)
     }
 
+    /// [`Gpu::run_traced`] plus interval observation: when
+    /// `sample_interval > 0`, `observer` receives cumulative
+    /// merged-across-SMs statistics at every crossed multiple of the
+    /// interval, and a final [`RunObserver::finish`] call either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Gpu::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        gmem: &mut GlobalMemory,
+        tracer: &mut Tracer<'_>,
+        snapshot_interval: u64,
+        sample_interval: u64,
+        observer: &mut dyn RunObserver,
+    ) -> Stats {
+        self.run_inner(
+            kernel,
+            launch,
+            gmem,
+            tracer,
+            snapshot_interval,
+            sample_interval,
+            observer,
+        )
+    }
+
     /// [`Gpu::run`] with cycle-level tracing: events are emitted into
     /// `tracer`, and when `snapshot_interval > 0` a
     /// [`TraceEvent::Snapshot`] with cumulative per-SM counters is
@@ -86,6 +146,28 @@ impl Gpu {
         gmem: &mut GlobalMemory,
         tracer: &mut Tracer<'_>,
         snapshot_interval: u64,
+    ) -> Stats {
+        self.run_inner(
+            kernel,
+            launch,
+            gmem,
+            tracer,
+            snapshot_interval,
+            0,
+            &mut NullObserver,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        gmem: &mut GlobalMemory,
+        tracer: &mut Tracer<'_>,
+        snapshot_interval: u64,
+        sample_interval: u64,
+        observer: &mut dyn RunObserver,
     ) -> Stats {
         let mut memsys = MemSystem::new(&self.cfg);
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
@@ -126,6 +208,7 @@ impl Gpu {
 
         let mut now: u64 = 0;
         let mut last_snapshot: u64 = 0;
+        let mut last_sample: u64 = 0;
         while ctas_done < total_ctas {
             let mut any_activity = false;
             for sm in &mut sms {
@@ -193,6 +276,21 @@ impl Gpu {
                     }
                 }
             }
+            // Observer samples: cumulative merged statistics at each
+            // sample-interval boundary crossing (same idle-skip
+            // semantics as snapshots above).
+            if let Some(intervals) = now.checked_div(sample_interval) {
+                let boundary = intervals * sample_interval;
+                if boundary > last_sample {
+                    last_sample = boundary;
+                    let mut cum = Stats::default();
+                    for sm in &sms {
+                        cum.merge(&sm.stats);
+                    }
+                    cum.cycles = boundary;
+                    observer.sample(boundary, &cum);
+                }
+            }
             assert!(now < WATCHDOG_CYCLES, "simulation watchdog tripped");
         }
 
@@ -201,6 +299,8 @@ impl Gpu {
             stats.merge(&sm.stats);
         }
         stats.cycles = now;
+        let per_sm: Vec<Stats> = sms.iter().map(|sm| sm.stats.clone()).collect();
+        observer.finish(now, &stats, &per_sm);
         stats
     }
 }

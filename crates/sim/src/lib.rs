@@ -52,6 +52,7 @@ pub mod exec;
 pub mod gpu;
 pub mod memory;
 pub mod memsys;
+pub mod metrics;
 pub mod pipeline;
 pub mod reference;
 pub mod regfile;
@@ -63,7 +64,8 @@ pub mod stats;
 pub mod warp;
 
 pub use config::{ArchConfig, GpuConfig, Latencies};
-pub use gpu::Gpu;
+pub use gpu::{Gpu, NullObserver, RunObserver};
+pub use metrics::MetricsObserver;
 pub use stats::{ScalarClass, Stats};
 
 /// Re-export of [`gscalar_compress::full_mask`] for convenience.

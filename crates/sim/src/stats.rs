@@ -262,6 +262,170 @@ impl Stats {
         }
     }
 
+    /// Exports every counter into a metrics [`Scope`] under hierarchical
+    /// paths (`instr/…`, `rf/…`, `exec/…`, `mem/…`, `pipe/…`).
+    ///
+    /// Like [`Stats::merge`], every sub-struct is exhaustively
+    /// destructured: adding a counter field without deciding how it is
+    /// exported is a compile error, not a silently missing metric.
+    pub fn export(&self, scope: &mut gscalar_metrics::Scope<'_>) {
+        let Stats {
+            cycles,
+            instr,
+            rf,
+            exec,
+            mem,
+            pipe,
+        } = self;
+        scope.counter_add("cycles", *cycles);
+        scope.gauge_set("ipc", self.ipc());
+        scope.gauge_set("warp_ipc", self.warp_ipc());
+        scope.gauge_set("divergent_fraction", self.divergent_fraction());
+
+        let InstrStats {
+            warp_instrs,
+            thread_instrs,
+            alu_instrs,
+            sfu_instrs,
+            mem_instrs,
+            ctrl_instrs,
+            divergent_instrs,
+            eligible_alu,
+            eligible_sfu,
+            eligible_mem,
+            eligible_half,
+            eligible_divergent,
+            executed_scalar,
+            executed_half,
+            decompress_moves,
+            decompress_moves_elided,
+        } = instr;
+        let mut s = scope.scope("instr");
+        s.counter_add("warp_instrs", *warp_instrs);
+        s.counter_add("thread_instrs", *thread_instrs);
+        s.counter_add("alu_instrs", *alu_instrs);
+        s.counter_add("sfu_instrs", *sfu_instrs);
+        s.counter_add("mem_instrs", *mem_instrs);
+        s.counter_add("ctrl_instrs", *ctrl_instrs);
+        s.counter_add("divergent_instrs", *divergent_instrs);
+        s.counter_add("eligible_alu", *eligible_alu);
+        s.counter_add("eligible_sfu", *eligible_sfu);
+        s.counter_add("eligible_mem", *eligible_mem);
+        s.counter_add("eligible_half", *eligible_half);
+        s.counter_add("eligible_divergent", *eligible_divergent);
+        s.counter_add("executed_scalar", *executed_scalar);
+        s.counter_add("executed_half", *executed_half);
+        s.counter_add("decompress_moves", *decompress_moves);
+        s.counter_add("decompress_moves_elided", *decompress_moves_elided);
+
+        let RfStats {
+            reads,
+            writes,
+            baseline_arrays,
+            ours_arrays,
+            ours_bvr,
+            bdi_arrays,
+            scalar_rf_small,
+            scalar_rf_arrays,
+            xbar_bytes_baseline,
+            xbar_bytes_ours,
+            compressor_ops,
+            decompressor_ops,
+            raw_bytes,
+            ours_bytes,
+            bdi_bytes,
+            histogram,
+        } = rf;
+        let mut s = scope.scope("rf");
+        s.counter_add("reads", *reads);
+        s.counter_add("writes", *writes);
+        s.counter_add("baseline_arrays", *baseline_arrays);
+        s.counter_add("ours_arrays", *ours_arrays);
+        s.counter_add("ours_bvr", *ours_bvr);
+        s.counter_add("bdi_arrays", *bdi_arrays);
+        s.counter_add("scalar_rf_small", *scalar_rf_small);
+        s.counter_add("scalar_rf_arrays", *scalar_rf_arrays);
+        s.counter_add("xbar_bytes_baseline", *xbar_bytes_baseline);
+        s.counter_add("xbar_bytes_ours", *xbar_bytes_ours);
+        s.counter_add("compressor_ops", *compressor_ops);
+        s.counter_add("decompressor_ops", *decompressor_ops);
+        s.counter_add("raw_bytes", *raw_bytes);
+        s.counter_add("ours_bytes", *ours_bytes);
+        s.counter_add("bdi_bytes", *bdi_bytes);
+        let EncodingHistogram {
+            scalar,
+            b3,
+            b2,
+            b1,
+            other,
+            divergent,
+        } = histogram;
+        let mut h = s.scope("encoding");
+        h.counter_add("scalar", *scalar);
+        h.counter_add("b3", *b3);
+        h.counter_add("b2", *b2);
+        h.counter_add("b1", *b1);
+        h.counter_add("other", *other);
+        h.counter_add("divergent", *divergent);
+
+        let ExecStats {
+            int_lane_ops,
+            fp_lane_ops,
+            sfu_lane_ops,
+            int_lane_ops_saved,
+            fp_lane_ops_saved,
+            sfu_lane_ops_saved,
+        } = exec;
+        let mut s = scope.scope("exec");
+        s.counter_add("int_lane_ops", *int_lane_ops);
+        s.counter_add("fp_lane_ops", *fp_lane_ops);
+        s.counter_add("sfu_lane_ops", *sfu_lane_ops);
+        s.counter_add("int_lane_ops_saved", *int_lane_ops_saved);
+        s.counter_add("fp_lane_ops_saved", *fp_lane_ops_saved);
+        s.counter_add("sfu_lane_ops_saved", *sfu_lane_ops_saved);
+
+        let MemStats {
+            global_accesses,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            shared_accesses,
+            noc_flits,
+            fully_coalesced,
+        } = mem;
+        let mut s = scope.scope("mem");
+        s.counter_add("global_accesses", *global_accesses);
+        s.counter_add("l1_hits", *l1_hits);
+        s.counter_add("l1_misses", *l1_misses);
+        s.counter_add("l2_hits", *l2_hits);
+        s.counter_add("l2_misses", *l2_misses);
+        s.counter_add("shared_accesses", *shared_accesses);
+        s.counter_add("noc_flits", *noc_flits);
+        s.counter_add("fully_coalesced", *fully_coalesced);
+
+        let PipeStats {
+            issued,
+            scheduler_idle_cycles,
+            oc_allocs,
+            bank_conflict_cycles,
+            scalar_bank_serializations,
+            bvr_conflict_cycles,
+            stalls,
+        } = pipe;
+        let mut s = scope.scope("pipe");
+        s.counter_add("issued", *issued);
+        s.counter_add("scheduler_idle_cycles", *scheduler_idle_cycles);
+        s.counter_add("oc_allocs", *oc_allocs);
+        s.counter_add("bank_conflict_cycles", *bank_conflict_cycles);
+        s.counter_add("scalar_bank_serializations", *scalar_bank_serializations);
+        s.counter_add("bvr_conflict_cycles", *bvr_conflict_cycles);
+        let mut st = s.scope("stall");
+        for (reason, count) in stalls.iter() {
+            st.counter_add(reason.label(), count);
+        }
+    }
+
     /// Merges another run's statistics (used to aggregate across SMs).
     ///
     /// Every sub-struct is exhaustively destructured (no `..` rest

@@ -1,0 +1,216 @@
+//! Golden-file tests for the trace exporters, plus an exactness
+//! property for the ring buffer's drop accounting.
+//!
+//! The golden files under `tests/golden/` pin the exact bytes of the
+//! Chrome trace-event JSON and interval CSV exporters; any format change
+//! must be deliberate. Regenerate with:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p gscalar-trace --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use gscalar_trace::{
+    export, EventBuf, MemLevel, ModeKind, Record, StallReason, TraceEvent, TraceSink, UnitKind,
+};
+use proptest::prelude::*;
+
+/// A deterministic fixture exercising every event variant across two
+/// SMs, in non-monotonic record order (exporters must not assume
+/// sorting).
+fn fixture() -> Vec<Record> {
+    vec![
+        Record {
+            now: 1,
+            ev: TraceEvent::Issue {
+                sm: 0,
+                sched: 0,
+                warp: 3,
+                pc: 0,
+                unit: UnitKind::Alu,
+                mode: ModeKind::Scalar,
+                mask: 0xFFFF_FFFF,
+            },
+        },
+        Record {
+            now: 2,
+            ev: TraceEvent::ExecSpan {
+                sm: 0,
+                warp: 3,
+                pc: 0,
+                unit: UnitKind::Alu,
+                mode: ModeKind::Scalar,
+                end: 10,
+            },
+        },
+        Record {
+            now: 3,
+            ev: TraceEvent::Stall {
+                sm: 0,
+                sched: 1,
+                warp: Some(4),
+                reason: StallReason::MemPending,
+            },
+        },
+        Record {
+            now: 4,
+            ev: TraceEvent::Stall {
+                sm: 1,
+                sched: 0,
+                warp: None,
+                reason: StallReason::Drained,
+            },
+        },
+        Record {
+            now: 6,
+            ev: TraceEvent::SimtPush {
+                sm: 0,
+                warp: 3,
+                pc: 12,
+                taken: 0x0000_FFFF,
+                not_taken: 0xFFFF_0000,
+                depth: 1,
+            },
+        },
+        Record {
+            now: 9,
+            ev: TraceEvent::SimtPop {
+                sm: 0,
+                warp: 3,
+                pc: 20,
+                depth: 0,
+            },
+        },
+        Record {
+            now: 11,
+            ev: TraceEvent::CompressWrite {
+                sm: 1,
+                warp: 0,
+                reg: 7,
+                encoding: 2,
+                bytes: 8,
+                uniform: true,
+            },
+        },
+        Record {
+            now: 12,
+            ev: TraceEvent::Decompress {
+                sm: 1,
+                warp: 0,
+                pc: 14,
+                assisted: false,
+            },
+        },
+        Record {
+            now: 5,
+            ev: TraceEvent::Mem {
+                sm: 0,
+                addr: 0x1000,
+                store: false,
+                level: MemLevel::Dram,
+                done: 300,
+            },
+        },
+        Record {
+            now: 7,
+            ev: TraceEvent::Mem {
+                sm: 1,
+                addr: 0x2040,
+                store: true,
+                level: MemLevel::L1Hit,
+                done: 8,
+            },
+        },
+        Record {
+            now: 100,
+            ev: TraceEvent::Snapshot {
+                sm: 0,
+                issued: 50,
+                scalar: 10,
+                rf_bytes_compressed: 400,
+                rf_bytes_uncompressed: 1600,
+                rf_activations: 90,
+            },
+        },
+        Record {
+            now: 100,
+            ev: TraceEvent::Snapshot {
+                sm: 1,
+                issued: 40,
+                scalar: 0,
+                rf_bytes_compressed: 0,
+                rf_bytes_uncompressed: 0,
+                rf_activations: 70,
+            },
+        },
+        Record {
+            now: 200,
+            ev: TraceEvent::Snapshot {
+                sm: 0,
+                issued: 150,
+                scalar: 30,
+                rf_bytes_compressed: 900,
+                rf_bytes_uncompressed: 3200,
+                rf_activations: 180,
+            },
+        },
+    ]
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "exporter output drifted from {}; if intentional, regenerate with GOLDEN_REGEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn chrome_json_matches_golden() {
+    check_golden("chrome.json", &export::chrome_json(&fixture()));
+}
+
+#[test]
+fn csv_timeseries_matches_golden() {
+    check_golden("intervals.csv", &export::csv_timeseries(&fixture()));
+}
+
+// The ring's drop counter is exact: after `n` records into a ring of
+// capacity `cap`, exactly `max(n - cap, 0)` were dropped, the newest
+// `min(n, cap)` survive, and `len + dropped == n`.
+proptest! {
+    #[test]
+    fn event_buf_dropped_is_exact(cap in 1usize..50, n in 0u64..200) {
+        let mut buf = EventBuf::new(cap);
+        for c in 0..n {
+            buf.record(c, TraceEvent::Stall {
+                sm: 0,
+                sched: 0,
+                warp: None,
+                reason: StallReason::Drained,
+            });
+        }
+        prop_assert_eq!(buf.dropped(), n.saturating_sub(cap as u64));
+        prop_assert_eq!(buf.len() as u64, n.min(cap as u64));
+        prop_assert_eq!(buf.len() as u64 + buf.dropped(), n);
+        let cycles: Vec<u64> = buf.records().iter().map(|r| r.now).collect();
+        let expect: Vec<u64> = (n.saturating_sub(cap as u64)..n).collect();
+        prop_assert_eq!(cycles, expect);
+    }
+}

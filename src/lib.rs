@@ -10,10 +10,12 @@
 //! * [`core`] — G-Scalar architecture variants and the simulation runner.
 //! * [`workloads`] — 17 synthetic Parboil/Rodinia-like benchmarks.
 //! * [`trace`] — cycle-level trace events, sinks, and exporters.
+//! * [`metrics`] — metrics registry, run manifests, regression compare.
 
 pub use gscalar_compress as compress;
 pub use gscalar_core as core;
 pub use gscalar_isa as isa;
+pub use gscalar_metrics as metrics;
 pub use gscalar_power as power;
 pub use gscalar_sim as sim;
 pub use gscalar_trace as trace;
