@@ -24,4 +24,17 @@ trap 'rm -rf "$tmp"' EXIT
 ./target/release/probe --scale test --json "$tmp/probe.json" > /dev/null
 ./target/release/report compare ci/baseline "$tmp"
 
+echo "== profile smoke"
+# Separate subdirectory: the compare above globs $tmp/*.json and must
+# not see the profile manifest. The binary itself exits non-zero when
+# the per-PC attribution fails to reconcile with the aggregate stats.
+./target/release/profile DIV --out "$tmp/profile" \
+    --json "$tmp/profile/profile.json" > /dev/null
+test -s "$tmp/profile/profile_divergent_annotated.txt"
+test -s "$tmp/profile/profile_divergent_report.md"
+# Manifest is schema-valid (report rejects unknown schemas) and carries
+# a non-empty per-PC table.
+./target/release/report aggregate "$tmp/profile" > /dev/null
+grep -q '"profile/k00/pc' "$tmp/profile/profile.json"
+
 echo "ci: all green"

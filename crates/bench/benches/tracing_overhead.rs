@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gscalar_core::{Arch, Runner};
+use gscalar_profile::Profiler;
 use gscalar_sim::{Gpu, GpuConfig, MetricsObserver, NullObserver};
 use gscalar_trace::{EventBuf, Tracer};
 use gscalar_workloads::{by_abbr, Scale};
@@ -80,6 +81,33 @@ fn bench_overhead(c: &mut Criterion) {
                 &mut obs,
             );
             black_box((stats.cycles, obs.into_registry().flatten().len()))
+        })
+    });
+
+    // Profiler-off: the profiled entry point with a disabled profiler —
+    // measures the per-hook `Option` checks alone (same ≤2% target as
+    // the off-tracer path).
+    g.bench_function("profile-off/run_profiled", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::test_small(), Arch::GScalar.config());
+            let mut mem = w.memory.clone();
+            let stats = gpu.run_profiled(
+                &w.kernel,
+                w.launch,
+                &mut mem,
+                &mut Tracer::off(),
+                &mut Profiler::off(),
+            );
+            black_box(stats.cycles)
+        })
+    });
+
+    // Profiler-on: full per-PC attribution (issues, stalls, classes,
+    // latencies, compressor outcomes, branch paths).
+    g.bench_function("profile-on/run_profiled", |b| {
+        b.iter(|| {
+            let run = runner.run_profiled(&w, Arch::GScalar);
+            black_box((run.report.stats.cycles, run.profile.total_issues()))
         })
     });
 

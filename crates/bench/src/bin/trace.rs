@@ -26,15 +26,13 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use gscalar_core::{Arch, Runner, Workload};
-use gscalar_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, SReg};
-use gscalar_sim::memory::GlobalMemory;
+use gscalar_core::{Arch, Runner};
 use gscalar_sim::GpuConfig;
 use gscalar_trace::export::{
     chrome_json, csv_timeseries, mem_level_counts, stall_report, waterfall,
 };
 use gscalar_trace::{EventBuf, Tracer};
-use gscalar_workloads::{by_abbr, Scale};
+use gscalar_workloads::{by_abbr, divergent_example, Scale};
 
 /// Event-buffer capacity: large enough to hold every event of the
 /// default kernel; suite workloads keep the most recent window.
@@ -43,48 +41,10 @@ const CAPACITY: usize = 1 << 20;
 /// Interval-metric snapshot period in cycles.
 const SNAPSHOT_INTERVAL: u64 = 64;
 
-/// The divergent example kernel (paper Figure 7b): a branch on
-/// `tid < 8` whose taken path runs a scalar chain on a warp-uniform
-/// value and whose other path does per-lane math, then a store.
-fn divergent_workload() -> Workload {
-    let mut b = KernelBuilder::new("divergent");
-    let tid = b.s2r(SReg::TidX);
-    let omega = b.mov(Operand::imm_f32(1.85)); // uniform parameter
-    let acc = b.mov_f32(0.0);
-    let p = b.isetp(CmpOp::Lt, tid.into(), Operand::Imm(8));
-    b.if_else(
-        p.into(),
-        |b| {
-            // Path A: chain on the uniform omega → divergent-scalar.
-            let c1 = b.fmul(omega.into(), Operand::imm_f32(0.5));
-            let c2 = b.fadd(c1.into(), Operand::imm_f32(0.1));
-            let c3 = b.fmul(c2.into(), c1.into());
-            b.fadd_to(acc, acc.into(), c3.into());
-        },
-        |b| {
-            // Path B: per-lane math → vector execution.
-            let t = b.i2f(tid.into());
-            let u = b.fmul(t.into(), Operand::imm_f32(0.25));
-            b.fadd_to(acc, acc.into(), u.into());
-        },
-    );
-    let off = b.shl(tid.into(), Operand::Imm(2));
-    let addr = b.iadd(off.into(), Operand::Imm(0x1_0000));
-    b.st_global(addr, acc, 0);
-    b.exit();
-    Workload::new(
-        "divergent",
-        "DIV",
-        b.build().expect("kernel is valid"),
-        LaunchConfig::linear(4, 64),
-        GlobalMemory::new(),
-    )
-}
-
 fn main() -> ExitCode {
     let arg = env::args().nth(1);
     let workload = match arg.as_deref() {
-        None | Some("DIV") => divergent_workload(),
+        None | Some("DIV") => divergent_example(),
         Some(abbr) => match by_abbr(abbr, Scale::Test) {
             Some(w) => w,
             None => {

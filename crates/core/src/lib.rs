@@ -41,4 +41,4 @@ pub mod rng;
 pub mod runner;
 
 pub use arch::Arch;
-pub use runner::{MeteredRun, RunReport, Runner, Workload};
+pub use runner::{MeteredRun, ProfiledRun, RunReport, Runner, Workload};

@@ -3,6 +3,7 @@
 use gscalar_isa::{Kernel, LaunchConfig};
 use gscalar_metrics::MetricsRegistry;
 use gscalar_power::{chip_power, EnergyModel, PowerReport, PowerTimeline, RfScheme};
+use gscalar_profile::{KernelProfile, Profiler};
 use gscalar_sim::memory::GlobalMemory;
 use gscalar_sim::{Gpu, GpuConfig, MetricsObserver, RunObserver, Stats};
 use gscalar_trace::Tracer;
@@ -75,6 +76,19 @@ pub struct MeteredRun {
     /// Every simulator counter (`gpu/…`, `sm<i>/…`), interval series
     /// (`gpu/interval/…`), power series (`power/…`) and energy summary
     /// gauges (`energy/…`).
+    pub registry: MetricsRegistry,
+}
+
+/// A profiled run: report, per-PC profile, and a registry carrying both
+/// the aggregate counters (`gpu/…`) and the per-PC export
+/// (`profile/k<id>/pc<PC>/…`) — see [`Runner::run_profiled`].
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// Statistics and one-shot power, as from [`Runner::run`].
+    pub report: RunReport,
+    /// The per-static-instruction profile.
+    pub profile: KernelProfile,
+    /// Aggregate counters plus the schema-versioned per-PC tables.
     pub registry: MetricsRegistry,
 }
 
@@ -261,6 +275,48 @@ impl Runner {
         }
     }
 
+    /// Runs `workload` on `arch` with the per-static-instruction
+    /// profiler attached: every issue slot, stall cycle, eligibility
+    /// classification, execution span, compressor outcome and branch
+    /// execution is attributed to its PC (see `gscalar_profile` for the
+    /// attribution rules).
+    ///
+    /// The returned registry carries the aggregate counters under
+    /// `gpu/…` and the schema-versioned per-PC tables under
+    /// `profile/k<id>/pc<PC>/…` with zero-padded keys, so manifests
+    /// built from a flatten are byte-stable.
+    #[must_use]
+    pub fn run_profiled(&self, workload: &Workload, arch: Arch) -> ProfiledRun {
+        let mut gpu = Gpu::new(self.cfg.clone(), arch.config());
+        let mut mem = workload.memory.clone();
+        let mut profiler = Profiler::for_kernel(0, workload.kernel.name(), workload.kernel.len());
+        let stats = gpu.run_profiled(
+            &workload.kernel,
+            workload.launch,
+            &mut mem,
+            &mut Tracer::off(),
+            &mut profiler,
+        );
+        let power = chip_power(
+            &stats,
+            &self.cfg,
+            arch.rf_scheme(),
+            arch.has_codec(),
+            &self.energy,
+        );
+        let profile = profiler
+            .into_profile()
+            .expect("profiler was created enabled");
+        let mut registry = MetricsRegistry::new();
+        stats.export(&mut registry.scope("gpu"));
+        profile.export(&mut registry.scope("profile"));
+        ProfiledRun {
+            report: RunReport { arch, stats, power },
+            profile,
+            registry,
+        }
+    }
+
     /// Runs `workload` on every Figure 11 architecture.
     #[must_use]
     pub fn run_all(&self, workload: &Workload) -> Vec<RunReport> {
@@ -387,6 +443,41 @@ mod tests {
         // And the power series exists per component.
         assert!(metered.registry.series("power/register-file").is_some());
         assert!(metered.registry.gauge("power/total_w").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_profiled_matches_plain_run_and_reconciles() {
+        let runner = Runner::new(GpuConfig::test_small());
+        let w = mixed_workload();
+        let plain = runner.run(&w, Arch::GScalar);
+        let profiled = runner.run_profiled(&w, Arch::GScalar);
+        // Profiling must not perturb the simulation.
+        assert_eq!(profiled.report.stats, plain.stats);
+        assert_eq!(profiled.report.power, plain.power);
+        // Per-PC totals reconcile exactly with the aggregate counters.
+        let prof = &profiled.profile;
+        assert_eq!(prof.total_issues(), plain.stats.pipe.issued);
+        assert_eq!(
+            prof.total_stall_cycles(),
+            plain.stats.pipe.scheduler_idle_cycles
+        );
+        // The registry carries both views, schema-stamped.
+        assert_eq!(
+            profiled.registry.counter("gpu/cycles"),
+            Some(plain.stats.cycles)
+        );
+        assert_eq!(
+            profiled.registry.counter("profile/k00/schema"),
+            Some(gscalar_profile::PROFILE_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            profiled.registry.counter("profile/k00/issues"),
+            Some(plain.stats.pipe.issued)
+        );
+        // Every executed PC is within the kernel.
+        let pcs: Vec<usize> = prof.executed_pcs().collect();
+        assert!(!pcs.is_empty());
+        assert!(pcs.iter().all(|&pc| pc < w.kernel.len()));
     }
 
     #[test]

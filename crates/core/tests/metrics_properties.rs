@@ -165,4 +165,68 @@ proptest! {
             .1;
         prop_assert_eq!(cycles, stats.cycles as f64);
     }
+
+    #[test]
+    fn per_pc_profile_reconciles_with_aggregate_stats(
+        prog in proptest::collection::vec(stmt(), 1..5),
+        arch_pick in 0usize..3,
+    ) {
+        use gscalar_profile::EligClass;
+
+        let w = build_workload(&prog);
+        let arch = [Arch::Baseline, Arch::AluScalar, Arch::GScalar][arch_pick];
+        let runner = Runner::new(GpuConfig::test_small());
+        let run = runner.run_profiled(&w, arch);
+        let stats = &run.report.stats;
+        let prof = &run.profile;
+
+        // Profiling must not perturb the simulation.
+        let plain = runner.run(&w, arch);
+        prop_assert_eq!(&plain.stats, stats);
+
+        // Issue slots: every issued warp-instruction is attributed to
+        // exactly one PC; every idle scheduler-cycle is charged to the
+        // losing warp's PC or recorded as unattributed.
+        prop_assert_eq!(prof.total_issues(), stats.pipe.issued);
+        prop_assert_eq!(
+            prof.total_stall_cycles(),
+            stats.pipe.scheduler_idle_cycles
+        );
+
+        // Lane-level totals.
+        let recs = prof.records();
+        let lanes: u64 = recs.iter().map(|r| r.active_lanes).sum();
+        prop_assert_eq!(lanes, stats.instr.thread_instrs);
+        let divergent: u64 = recs.iter().map(|r| r.divergent_issues).sum();
+        prop_assert_eq!(divergent, stats.instr.divergent_instrs);
+
+        // Scalar-eligibility classes: per-PC class counts sum to the
+        // aggregate eligible_* counters.
+        let class_sum = |c: EligClass| -> u64 {
+            recs.iter().map(|r| r.class_count(c)).sum()
+        };
+        prop_assert_eq!(class_sum(EligClass::Alu), stats.instr.eligible_alu);
+        prop_assert_eq!(class_sum(EligClass::Sfu), stats.instr.eligible_sfu);
+        prop_assert_eq!(class_sum(EligClass::Mem), stats.instr.eligible_mem);
+        prop_assert_eq!(class_sum(EligClass::Half), stats.instr.eligible_half);
+        prop_assert_eq!(
+            class_sum(EligClass::Divergent),
+            stats.instr.eligible_divergent
+        );
+
+        // Register-write compressor outcomes: per-PC byte totals match
+        // the aggregate register-file accounting (divergent writes are
+        // excluded from both, by the same rule).
+        let raw: u64 = recs.iter().map(|r| r.raw_bytes).sum();
+        prop_assert_eq!(raw, stats.rf.raw_bytes);
+        let compressed: u64 = recs.iter().map(|r| r.compressed_bytes).sum();
+        prop_assert_eq!(compressed, stats.rf.ours_bytes);
+        let writes: u64 = recs
+            .iter()
+            .map(|r| (0..gscalar_profile::ENCODING_SLOTS)
+                .map(|t| r.enc_count(t))
+                .sum::<u64>() + r.enc_divergent)
+            .sum();
+        prop_assert_eq!(writes, stats.rf.writes);
+    }
 }

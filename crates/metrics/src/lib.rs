@@ -288,6 +288,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merges a prebuilt histogram into the histogram at `path`,
+    /// creating it if absent — used by layers that accumulate their own
+    /// [`Histogram`]s (e.g. per-PC latency distributions) and export
+    /// them wholesale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-histogram metric.
+    pub fn histogram_merge(&mut self, path: &str, h: &Histogram) {
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(dst) => dst.merge(h),
+            other => panic!("metric {path} is not a histogram: {other:?}"),
+        }
+    }
+
     /// Appends `(cycle, v)` to the series at `path`, creating it if
     /// absent.
     ///
@@ -426,6 +445,12 @@ impl Scope<'_> {
         self.reg.histogram_record(&p, v);
     }
 
+    /// Merges a prebuilt histogram into `name` under this scope.
+    pub fn histogram_merge(&mut self, name: &str, h: &Histogram) {
+        let p = self.path(name);
+        self.reg.histogram_merge(&p, h);
+    }
+
     /// Appends to the series at `name` under this scope.
     pub fn series_push(&mut self, name: &str, cycle: u64, v: f64) {
         let p = self.path(name);
@@ -500,6 +525,28 @@ mod tests {
         assert_eq!(h.bucket(63), 1);
         assert_eq!(h.count(), 5);
         assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_into_registry() {
+        let mut h = Histogram::default();
+        h.record(4);
+        h.record(5);
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_record("lat", 1);
+        reg.histogram_merge("lat", &h);
+        reg.scope("x").histogram_merge("lat", &h);
+        match reg.get("lat") {
+            Some(Metric::Histogram(m)) => {
+                assert_eq!(m.count(), 3);
+                assert_eq!(m.sum(), 10);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match reg.get("x/lat") {
+            Some(Metric::Histogram(m)) => assert_eq!(m.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Human-readable renderings of a [`KernelProfile`]: annotated
+//! disassembly (`perf annotate` style), a top-N hotspot table, and a
+//! per-branch divergence report.
+//!
+//! All output is deterministic: rows follow PC order (or the
+//! deterministic hotspot ranking) and every number is formatted with a
+//! fixed precision, so the texts are byte-stable across runs and can be
+//! pinned by golden-file tests.
+
+use gscalar_isa::{InstrKind, Kernel};
+
+use crate::KernelProfile;
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Renders the kernel's disassembly with each line prefixed by the
+/// profile columns: issue count, issue share, stall share, average
+/// active lanes, dominant scalar-eligibility class, and compression
+/// ratio of the instruction's register writes.
+///
+/// Never-executed PCs render with `-` placeholders so the full program
+/// text is always visible. Stall share is relative to *all* idle
+/// scheduler cycles (attributed + unattributed).
+///
+/// # Panics
+///
+/// Panics if the profile length does not match the kernel length.
+#[must_use]
+pub fn annotate(kernel: &Kernel, profile: &KernelProfile) -> String {
+    assert_eq!(
+        kernel.len(),
+        profile.len(),
+        "profile does not match kernel {}",
+        kernel.name()
+    );
+    let issues = profile.total_issues();
+    let idle = profile.total_stall_cycles();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# profile: kernel `{}` (id {}), schema {}\n",
+        kernel.name(),
+        profile.kernel_id(),
+        crate::PROFILE_SCHEMA_VERSION
+    ));
+    out.push_str(&format!(
+        "# issued {} warp-instructions; {} idle scheduler cycles ({} attributed to PCs, {} unattributed)\n",
+        issues,
+        idle,
+        profile.attributed_stall_cycles(),
+        profile.unattributed.total()
+    ));
+    out.push_str("#   pc   issues  issue%  stall%  lanes  class   comp  disasm\n");
+    for (pc, instr) in kernel.instrs().iter().enumerate() {
+        let r = profile.record(pc);
+        if r.has_activity() {
+            let class = r.dominant_class().map_or("-", crate::EligClass::short);
+            let comp = r
+                .compression_ratio()
+                .map_or_else(|| "-".to_string(), |c| format!("{c:.2}"));
+            out.push_str(&format!(
+                "{pc:6}  {issues:7}  {ip:6.1}  {sp:6.1}  {lanes:5.1}  {class:<5}  {comp:>5}  {instr}\n",
+                issues = r.issues,
+                ip = pct(r.issues, issues),
+                sp = pct(r.stalls.total(), idle),
+                lanes = r.avg_active_lanes(),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{pc:6}  {:>7}  {:>6}  {:>6}  {:>5}  {:<5}  {:>5}  {instr}\n",
+                "-", "-", "-", "-", "-", "-"
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a markdown table of the `n` highest-cost PCs (issue slots
+/// plus attributed stall cycles).
+///
+/// # Panics
+///
+/// Panics if the profile length does not match the kernel length.
+#[must_use]
+pub fn hotspot_markdown(kernel: &Kernel, profile: &KernelProfile, n: usize) -> String {
+    assert_eq!(kernel.len(), profile.len(), "profile/kernel mismatch");
+    let issues = profile.total_issues();
+    let idle = profile.total_stall_cycles();
+    let mut out = String::new();
+    out.push_str(&format!("## Hotspots — `{}` (top {n})\n\n", kernel.name()));
+    out.push_str("| rank | pc | cost | issue% | stall% | lanes | class | instr |\n");
+    out.push_str("|---:|---:|---:|---:|---:|---:|:--|:--|\n");
+    for (rank, pc) in profile.hotspots(n).into_iter().enumerate() {
+        let r = profile.record(pc);
+        let class = r.dominant_class().map_or("-", crate::EligClass::label);
+        out.push_str(&format!(
+            "| {rank} | {pc} | {cost} | {ip:.1} | {sp:.1} | {lanes:.1} | {class} | `{instr}` |\n",
+            rank = rank + 1,
+            cost = r.cost(),
+            ip = pct(r.issues, issues),
+            sp = pct(r.stalls.total(), idle),
+            lanes = r.avg_active_lanes(),
+            instr = kernel.instr(pc),
+        ));
+    }
+    out
+}
+
+/// Renders a markdown table of every executed branch: execution count,
+/// divergence rate, average lanes per path, path reconvergence
+/// outcomes, and the compiler-annotated reconvergence PC.
+///
+/// This is the per-branch decomposition of the paper's Figure 1
+/// divergent-instruction fraction: branches with a high `div%` are the
+/// ones manufacturing divergent instructions downstream.
+///
+/// # Panics
+///
+/// Panics if the profile length does not match the kernel length.
+#[must_use]
+pub fn branch_markdown(kernel: &Kernel, profile: &KernelProfile) -> String {
+    assert_eq!(kernel.len(), profile.len(), "profile/kernel mismatch");
+    let mut out = String::new();
+    out.push_str(&format!("## Branch divergence — `{}`\n\n", kernel.name()));
+    out.push_str(
+        "| pc | execs | diverged | div% | taken lanes | fall lanes | rejoined | exited | target | reconv | instr |\n",
+    );
+    out.push_str("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|:--|\n");
+    let mut any = false;
+    for (pc, instr) in kernel.instrs().iter().enumerate() {
+        let b = &profile.record(pc).branch;
+        if b.execs == 0 {
+            continue;
+        }
+        any = true;
+        let target = match instr.kind {
+            InstrKind::Bra { target } => target.to_string(),
+            _ => "-".to_string(),
+        };
+        let reconv = kernel
+            .reconvergence_pc(pc)
+            .map_or_else(|| "-".to_string(), |r| r.to_string());
+        out.push_str(&format!(
+            "| {pc} | {execs} | {div} | {rate:.1} | {tl:.1} | {ntl:.1} | {rj} | {ex} | {target} | {reconv} | `{instr}` |\n",
+            execs = b.execs,
+            div = b.diverged,
+            rate = pct(b.diverged, b.execs),
+            tl = b.taken_lanes as f64 / b.execs as f64,
+            ntl = b.not_taken_lanes as f64 / b.execs as f64,
+            rj = b.rejoined_paths,
+            ex = b.exited_paths,
+        ));
+    }
+    if !any {
+        out.push_str("\n(no branches executed)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EligClass, Profiler};
+    use gscalar_isa::{CmpOp, KernelBuilder, Operand, SReg};
+    use gscalar_trace::StallReason;
+
+    fn branchy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("branchy");
+        let tid = b.s2r(SReg::TidX);
+        let p = b.isetp(CmpOp::Lt, tid.into(), Operand::Imm(8));
+        b.if_then(p.into(), |b| {
+            b.mov(Operand::Imm(1));
+        });
+        b.mov(Operand::Imm(2));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    fn profile_for(kernel: &Kernel) -> KernelProfile {
+        let mut p = Profiler::for_kernel(0, kernel.name(), kernel.len());
+        for pc in 0..kernel.len() {
+            p.record_issue(pc, 32, false);
+        }
+        p.record_class(0, EligClass::Alu);
+        p.record_stall(Some(1), StallReason::Scoreboard);
+        p.record_branch(2, true, 8, 24);
+        p.record_path_end(2, true);
+        p.record_write(0, 0, 128, 4, false);
+        p.into_profile().unwrap()
+    }
+
+    #[test]
+    fn annotate_covers_every_pc() {
+        let kernel = branchy_kernel();
+        let profile = profile_for(&kernel);
+        let text = annotate(&kernel, &profile);
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body.len(), kernel.len());
+        assert!(text.contains("kernel `branchy`"));
+        // pc0 wrote compressed scalar data: ratio 32.00.
+        assert!(text.lines().any(|l| l.contains("32.00")), "{text}");
+    }
+
+    #[test]
+    fn annotate_renders_placeholders_for_unexecuted() {
+        let kernel = branchy_kernel();
+        let mut p = Profiler::for_kernel(0, kernel.name(), kernel.len());
+        p.record_issue(0, 32, false);
+        let profile = p.into_profile().unwrap();
+        let text = annotate(&kernel, &profile);
+        let last = text.lines().last().unwrap();
+        assert!(last.contains('-'), "{last}");
+    }
+
+    #[test]
+    fn hotspots_and_branches_render() {
+        let kernel = branchy_kernel();
+        let profile = profile_for(&kernel);
+        let hot = hotspot_markdown(&kernel, &profile, 3);
+        assert!(hot.contains("| rank |"));
+        assert_eq!(hot.lines().filter(|l| l.starts_with("| ")).count(), 3 + 1);
+        let br = branch_markdown(&kernel, &profile);
+        assert!(br.contains("| 2 | 1 | 1 | 100.0 |"), "{br}");
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let kernel = branchy_kernel();
+        let profile = profile_for(&kernel);
+        assert_eq!(annotate(&kernel, &profile), annotate(&kernel, &profile));
+        assert_eq!(
+            hotspot_markdown(&kernel, &profile, 5),
+            hotspot_markdown(&kernel, &profile, 5)
+        );
+        assert_eq!(
+            branch_markdown(&kernel, &profile),
+            branch_markdown(&kernel, &profile)
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! The full GPU: SMs, the CTA scheduler, and the run loop.
 
 use gscalar_isa::{Dim3, Kernel, LaunchConfig};
+use gscalar_profile::Profiler;
 use gscalar_trace::{TraceEvent, Tracer};
 
 use crate::config::{ArchConfig, GpuConfig};
@@ -126,6 +127,36 @@ impl Gpu {
             snapshot_interval,
             sample_interval,
             observer,
+            &mut Profiler::off(),
+        )
+    }
+
+    /// [`Gpu::run`] with per-static-instruction profiling: every issue
+    /// slot, attributed stall cycle, eligibility classification,
+    /// execution span, compressor outcome, and branch execution is
+    /// recorded into `profiler` (see `gscalar_profile`). Combine with a
+    /// live `tracer` freely; the two instruments are independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Gpu::run`].
+    pub fn run_profiled(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        gmem: &mut GlobalMemory,
+        tracer: &mut Tracer<'_>,
+        profiler: &mut Profiler,
+    ) -> Stats {
+        self.run_inner(
+            kernel,
+            launch,
+            gmem,
+            tracer,
+            0,
+            0,
+            &mut NullObserver,
+            profiler,
         )
     }
 
@@ -155,6 +186,7 @@ impl Gpu {
             snapshot_interval,
             0,
             &mut NullObserver,
+            &mut Profiler::off(),
         )
     }
 
@@ -168,6 +200,7 @@ impl Gpu {
         snapshot_interval: u64,
         sample_interval: u64,
         observer: &mut dyn RunObserver,
+        profiler: &mut Profiler,
     ) -> Stats {
         let mut memsys = MemSystem::new(&self.cfg);
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
@@ -213,7 +246,7 @@ impl Gpu {
             let mut any_activity = false;
             for sm in &mut sms {
                 let before = sm.stats.pipe.issued + sm.stats.pipe.oc_allocs;
-                let completed = sm.cycle(now, kernel, gmem, &mut memsys, tracer);
+                let completed = sm.cycle(now, kernel, gmem, &mut memsys, tracer, profiler);
                 if completed > 0 {
                     ctas_done += completed as u64;
                     // Refill this SM.
@@ -498,6 +531,73 @@ mod tests {
             gs.exec.sfu_lane_ops < base.exec.sfu_lane_ops,
             "scalar execution must gate SFU lanes"
         );
+    }
+
+    #[test]
+    fn profiled_run_reconciles_with_stats() {
+        // Reuse the divergent abs kernel: branches, predication, loads
+        // and stores all exercise the profiler hooks.
+        let out = 0x6_0000u32;
+        let mut b = KernelBuilder::new("prof");
+        let tid = b.s2r(SReg::TidX);
+        let v = b.isub(tid.into(), Operand::Imm(8));
+        let p = b.isetp(CmpOp::Lt, v.into(), Operand::Imm(0));
+        let r = b.mov(Operand::Imm(0));
+        b.if_else(
+            p.into(),
+            |b| {
+                let n = b.isub(Operand::Imm(0), v.into());
+                b.mov_to(r, n.into());
+            },
+            |b| {
+                b.mov_to(r, v.into());
+            },
+        );
+        let off = b.shl(tid.into(), Operand::Imm(2));
+        let addr = b.iadd(off.into(), Operand::Imm(out));
+        b.st_global(addr, r, 0);
+        b.exit();
+        let kernel = b.build().unwrap();
+
+        let mut gpu = Gpu::new(GpuConfig::test_small(), ArchConfig::baseline());
+        let mut mem = GlobalMemory::new();
+        let mut profiler = Profiler::for_kernel(0, kernel.name(), kernel.len());
+        let stats = gpu.run_profiled(
+            &kernel,
+            LaunchConfig::linear(2, 64),
+            &mut mem,
+            &mut Tracer::off(),
+            &mut profiler,
+        );
+        let prof = profiler.into_profile().unwrap();
+
+        // Every scheduler cycle is either an issue charged to a PC or a
+        // stall charged to a PC / the unattributed pool.
+        assert_eq!(prof.total_issues(), stats.pipe.issued);
+        assert_eq!(prof.total_stall_cycles(), stats.pipe.scheduler_idle_cycles);
+        // Lane and divergence attribution match the aggregate counters.
+        let lanes: u64 = prof.records().iter().map(|r| r.active_lanes).sum();
+        assert_eq!(lanes, stats.instr.thread_instrs);
+        let div: u64 = prof.records().iter().map(|r| r.divergent_issues).sum();
+        assert_eq!(div, stats.instr.divergent_instrs);
+        // The branches of the if/else diverged and their paths all
+        // reconverged (no early exits inside the conditional).
+        let branches: Vec<_> = prof
+            .records()
+            .iter()
+            .filter(|r| r.branch.execs > 0)
+            .collect();
+        assert!(!branches.is_empty());
+        let diverged: u64 = branches.iter().map(|r| r.branch.diverged).sum();
+        assert!(diverged > 0);
+        let rejoined: u64 = branches.iter().map(|r| r.branch.rejoined_paths).sum();
+        let exited: u64 = branches.iter().map(|r| r.branch.exited_paths).sum();
+        assert_eq!(rejoined + exited, 2 * diverged);
+        // The run itself is unperturbed by profiling.
+        let mut gpu2 = Gpu::new(GpuConfig::test_small(), ArchConfig::baseline());
+        let mut mem2 = GlobalMemory::new();
+        let stats2 = gpu2.run(&kernel, LaunchConfig::linear(2, 64), &mut mem2);
+        assert_eq!(stats, stats2);
     }
 
     #[test]

@@ -68,5 +68,8 @@ pub use gpu::{Gpu, NullObserver, RunObserver};
 pub use metrics::MetricsObserver;
 pub use stats::{ScalarClass, Stats};
 
+/// Re-export of the per-PC profiling handle (see [`gscalar_profile`]).
+pub use gscalar_profile::{KernelProfile, Profiler};
+
 /// Re-export of [`gscalar_compress::full_mask`] for convenience.
 pub use gscalar_compress::full_mask;

@@ -8,10 +8,16 @@ struct Entry {
     /// PC at which this entry merges into the one below it; `usize::MAX`
     /// when the path only ends at thread exit.
     reconv: usize,
+    /// PC of the diverging branch that pushed this path; `usize::MAX`
+    /// for the base entry and join continuations.
+    origin: usize,
 }
 
 /// Sentinel for "no reconvergence before exit".
 const NO_RECONV: usize = usize::MAX;
+
+/// Sentinel for "not pushed by a branch".
+const NO_ORIGIN: usize = usize::MAX;
 
 /// A per-warp SIMT stack (post-dominator reconvergence, as in
 /// GPGPU-Sim and the paper's baseline).
@@ -33,6 +39,12 @@ const NO_RECONV: usize = usize::MAX;
 pub struct SimtStack {
     entries: Vec<Entry>,
     exited: u64,
+    /// `(origin branch pc, rejoined)` for each branch-pushed path
+    /// popped by the most recent operation — `rejoined` is `true` when
+    /// the path reached its reconvergence point, `false` when every
+    /// lane on it exited. Cleared at the start of each operation; the
+    /// profiler drains it via [`path_events`](SimtStack::path_events).
+    path_events: Vec<(usize, bool)>,
 }
 
 impl SimtStack {
@@ -44,8 +56,10 @@ impl SimtStack {
                 pc: entry_pc,
                 mask,
                 reconv: NO_RECONV,
+                origin: NO_ORIGIN,
             }],
             exited: 0,
+            path_events: Vec::new(),
         }
     }
 
@@ -83,9 +97,17 @@ impl SimtStack {
         self.entries.len()
     }
 
+    /// Branch-pushed paths popped by the most recent
+    /// `advance`/`branch`/`exit`, as `(origin branch pc, rejoined)`.
+    #[must_use]
+    pub fn path_events(&self) -> &[(usize, bool)] {
+        &self.path_events
+    }
+
     /// Advances the current path to `next_pc` (non-branch instruction),
     /// popping if the path reaches its reconvergence point.
     pub fn advance(&mut self, next_pc: usize) {
+        self.path_events.clear();
         if let Some(top) = self.entries.last_mut() {
             top.pc = next_pc;
         }
@@ -114,22 +136,28 @@ impl SimtStack {
             self.advance(next);
             return false;
         }
+        self.path_events.clear();
         let r = reconv.unwrap_or(NO_RECONV);
         let top = self
             .entries
             .last_mut()
             .expect("active lanes imply an entry");
+        // The top entry's PC is still the branch's own PC: it is the
+        // origin charged for the two paths pushed below.
+        let origin = top.pc;
         // The current entry becomes the join continuation.
         top.pc = r;
         self.entries.push(Entry {
             pc: target,
             mask: taken,
             reconv: r,
+            origin,
         });
         self.entries.push(Entry {
             pc: fallthrough,
             mask: not_taken,
             reconv: r,
+            origin,
         });
         self.normalize();
         true
@@ -137,6 +165,7 @@ impl SimtStack {
 
     /// Retires the current path's active lanes (an `EXIT`).
     pub fn exit(&mut self) {
+        self.path_events.clear();
         self.exited |= self.active();
         self.normalize();
     }
@@ -144,11 +173,11 @@ impl SimtStack {
     fn normalize(&mut self) {
         while let Some(top) = self.entries.last() {
             let live = top.mask & !self.exited;
-            if live == 0 {
-                self.entries.pop();
-                continue;
-            }
-            if top.pc == top.reconv {
+            let rejoined = top.pc == top.reconv;
+            if live == 0 || rejoined {
+                if top.origin != NO_ORIGIN {
+                    self.path_events.push((top.origin, rejoined && live != 0));
+                }
                 self.entries.pop();
                 continue;
             }
@@ -246,6 +275,28 @@ mod tests {
         s.exit();
         assert!(s.is_done());
         assert_eq!(s.active(), 0);
+    }
+
+    #[test]
+    fn path_events_attribute_pops_to_the_branch() {
+        let mut s = SimtStack::new(5, 0xF);
+        // Diverging branch at pc 5, reconverging at 20.
+        assert!(s.branch(0b0011, 10, 6, Some(20)));
+        assert!(s.path_events().is_empty());
+        // Fall-through path rejoins at 20 → one rejoin charged to pc 5.
+        s.advance(20);
+        assert_eq!(s.path_events(), &[(5, true)]);
+        // An unrelated advance clears the event buffer.
+        s.advance(11);
+        assert!(s.path_events().is_empty());
+        // Taken path exits before reconverging → charged as exited.
+        s.exit();
+        assert_eq!(s.path_events(), &[(5, false)]);
+        // Remaining join entry has no origin: popping it emits nothing.
+        assert_eq!(s.pc(), 20);
+        s.exit();
+        assert!(s.path_events().is_empty());
+        assert!(s.is_done());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use gscalar_compress::regmeta::MetaConfig;
 use gscalar_compress::{bdi, bytewise, Encoding, RegFileMeta};
 use gscalar_isa::{AluOp, Dim3, FuncUnit, Instr, InstrKind, Kernel, Operand, Reg, Space};
+use gscalar_profile::{EligClass, Profiler};
 use gscalar_trace::{ModeKind, StallReason, TraceEvent, Tracer, UnitKind};
 
 use crate::config::{ArchConfig, GpuConfig};
@@ -56,6 +57,29 @@ fn encoding_tag(enc: Encoding) -> u8 {
         Encoding::B32 => 2,
         Encoding::B3 => 3,
         Encoding::None => 4,
+    }
+}
+
+/// Profiler-vocabulary view of a [`ScalarClass`].
+fn elig_class(class: ScalarClass) -> EligClass {
+    match class {
+        ScalarClass::Vector => EligClass::Vector,
+        ScalarClass::Alu => EligClass::Alu,
+        ScalarClass::Sfu => EligClass::Sfu,
+        ScalarClass::Mem => EligClass::Mem,
+        ScalarClass::Half => EligClass::Half,
+        ScalarClass::Divergent => EligClass::Divergent,
+    }
+}
+
+/// Forwards SIMT path-end events (paths popped by the last stack
+/// operation) to the profiler's per-branch reconvergence stats.
+#[inline]
+fn drain_path_events(profiler: &mut Profiler, simt: &crate::simt::SimtStack) {
+    if profiler.is_on() {
+        for &(origin, rejoined) in simt.path_events() {
+            profiler.record_path_end(origin, rejoined);
+        }
     }
 }
 
@@ -268,6 +292,7 @@ impl Sm {
         gmem: &mut GlobalMemory,
         memsys: &mut MemSystem,
         tracer: &mut Tracer<'_>,
+        profiler: &mut Profiler,
     ) -> usize {
         // 1. Writeback.
         let mut finished: Vec<Inflight> = Vec::new();
@@ -318,7 +343,7 @@ impl Sm {
             }
         });
         for inst in ready {
-            self.dispatch(inst, now, memsys, tracer);
+            self.dispatch(inst, now, memsys, tracer, profiler);
         }
 
         // 4. Issue from each scheduler.
@@ -329,7 +354,7 @@ impl Sm {
         }
         let mut completed_ctas = 0;
         for s in 0..self.schedulers.len() {
-            completed_ctas += self.issue_one(s, now, kernel, gmem, rf_conflict, tracer);
+            completed_ctas += self.issue_one(s, now, kernel, gmem, rf_conflict, tracer, profiler);
         }
         completed_ctas
     }
@@ -371,6 +396,7 @@ impl Sm {
     // ---- issue ---------------------------------------------------------
 
     /// Attempts one issue from scheduler `s`. Returns completed CTAs.
+    #[allow(clippy::too_many_arguments)]
     fn issue_one(
         &mut self,
         s: usize,
@@ -379,6 +405,7 @@ impl Sm {
         gmem: &mut GlobalMemory,
         rf_conflict: bool,
         tracer: &mut Tracer<'_>,
+        profiler: &mut Profiler,
     ) -> usize {
         let oc_free = self.oc.free_slots() > 0;
         let warps = &self.warps;
@@ -401,6 +428,15 @@ impl Sm {
             let (reason, culprit) = self.classify_stall(s, now, kernel, rf_conflict);
             self.stats.pipe.scheduler_idle_cycles += 1;
             self.stats.pipe.stalls.add(reason);
+            if profiler.is_on() {
+                // Charge the idle cycle to the instruction at the head
+                // of the culprit warp; drained cycles have no culprit
+                // and land in the profile's unattributed pool.
+                let pc = culprit
+                    .and_then(|cw| self.warps[cw as usize].as_ref())
+                    .map(|warp| warp.simt.pc());
+                profiler.record_stall(pc, reason);
+            }
             let sm = self.id as u32;
             tracer.emit_with(now, || TraceEvent::Stall {
                 sm,
@@ -411,7 +447,7 @@ impl Sm {
             return 0;
         };
         self.stats.pipe.issued += 1;
-        self.execute_instruction(w, s, now, kernel, gmem, tracer)
+        self.execute_instruction(w, s, now, kernel, gmem, tracer, profiler)
     }
 
     /// Classifies why scheduler `s` issued nothing this cycle, charging
@@ -483,6 +519,7 @@ impl Sm {
 
     /// Issues (and functionally executes) the instruction at warp `w`'s
     /// PC, picked by scheduler `s`. Returns completed CTAs.
+    #[allow(clippy::too_many_arguments)]
     fn execute_instruction(
         &mut self,
         w: usize,
@@ -491,6 +528,7 @@ impl Sm {
         kernel: &Kernel,
         gmem: &mut GlobalMemory,
         tracer: &mut Tracer<'_>,
+        profiler: &mut Profiler,
     ) -> usize {
         let pc = self.warps[w]
             .as_ref()
@@ -514,11 +552,13 @@ impl Sm {
         let mask = path_mask & guard_mask;
         let divergent = mask != warp.thread_mask;
 
+        let lanes = mask.count_ones();
         self.stats.instr.warp_instrs += 1;
-        self.stats.instr.thread_instrs += mask.count_ones() as u64;
+        self.stats.instr.thread_instrs += u64::from(lanes);
         if divergent {
             self.stats.instr.divergent_instrs += 1;
         }
+        profiler.record_issue(pc, lanes, divergent);
         match instr.func_unit() {
             FuncUnit::Alu => self.stats.instr.alu_instrs += 1,
             FuncUnit::Sfu => self.stats.instr.sfu_instrs += 1,
@@ -545,6 +585,8 @@ impl Sm {
                 let reconv = kernel.reconvergence_pc(pc);
                 let depth_before = warp.simt.depth();
                 let diverged = warp.simt.branch(mask, target, pc + 1, reconv);
+                profiler.record_branch(pc, diverged, lanes, (path_mask & !mask).count_ones());
+                drain_path_events(profiler, &warp.simt);
                 if tracer.is_on() && !warp.simt.is_done() {
                     let depth = warp.simt.depth() as u32;
                     let next_pc = warp.simt.pc() as u32;
@@ -573,6 +615,7 @@ impl Sm {
             InstrKind::Exit => {
                 let depth_before = warp.simt.depth();
                 warp.simt.exit();
+                drain_path_events(profiler, &warp.simt);
                 if tracer.is_on() && !warp.simt.is_done() {
                     let depth = warp.simt.depth() as u32;
                     let next_pc = warp.simt.pc() as u32;
@@ -592,6 +635,7 @@ impl Sm {
             }
             InstrKind::Bar => {
                 warp.simt.advance(pc + 1);
+                drain_path_events(profiler, &warp.simt);
                 warp.at_barrier = true;
                 let slot = warp.cta_slot;
                 let cta = self.ctas[slot].as_mut().expect("warp's CTA is resident");
@@ -608,6 +652,7 @@ impl Sm {
             }
             InstrKind::Nop => {
                 warp.simt.advance(pc + 1);
+                drain_path_events(profiler, &warp.simt);
                 return 0;
             }
             _ => {}
@@ -617,6 +662,7 @@ impl Sm {
             // Fully predicated-off: consumes the issue slot only.
             let warp = self.warps[w].as_mut().expect("picked warp exists");
             warp.simt.advance(pc + 1);
+            drain_path_events(profiler, &warp.simt);
             return 0;
         }
 
@@ -678,6 +724,7 @@ impl Sm {
             ScalarClass::Vector
         };
         self.stats.instr.record_class(class);
+        profiler.record_class(pc, elig_class(class));
 
         let mode = match class {
             ScalarClass::Alu if self.arch.scalar_alu => ExecMode::Scalar,
@@ -892,12 +939,20 @@ impl Sm {
                     }
                 }
                 self.record_rf_write(&winfo, &full_vals, mask, divergent);
+                profiler.record_write(
+                    pc,
+                    encoding_tag(winfo.enc),
+                    (self.cfg.warp_size * 4) as u64,
+                    winfo.enc.compressed_bytes(self.cfg.warp_size) as u64,
+                    divergent,
+                );
             }
         }
 
         // Advance the PC past this instruction.
         let warp = self.warps[w].as_mut().expect("picked warp exists");
         warp.simt.advance(pc + 1);
+        drain_path_events(profiler, &warp.simt);
         self.scoreboards[w].reserve(&instr);
 
         // Exec-unit energy accounting.
@@ -1048,6 +1103,7 @@ impl Sm {
         now: u64,
         memsys: &mut MemSystem,
         tracer: &mut Tracer<'_>,
+        profiler: &mut Profiler,
     ) {
         let threads = self.cfg.warp_size;
         let sm_id = self.id as u32;
@@ -1071,6 +1127,7 @@ impl Sm {
                     self.alu_pipes[0].occupancy(threads)
                 };
                 let latency = self.alu_latency(&inst.instr) + inst.extra_latency;
+                profiler.record_latency(inst.pc, occupancy.max(1) + latency);
                 tracer.emit_with(now, || span(&inst, now + occupancy.max(1) + latency));
                 let pipe = self
                     .alu_pipes
@@ -1086,6 +1143,7 @@ impl Sm {
                     self.sfu_pipe.occupancy(threads)
                 };
                 let latency = self.cfg.lat.sfu + inst.extra_latency;
+                profiler.record_latency(inst.pc, occupancy.max(1) + latency);
                 tracer.emit_with(now, || span(&inst, now + occupancy.max(1) + latency));
                 self.sfu_pipe.dispatch(now, occupancy, latency, inst);
             }
@@ -1119,6 +1177,7 @@ impl Sm {
                         finish = finish.max(t);
                     }
                 }
+                profiler.record_latency(inst.pc, finish.saturating_sub(now));
                 tracer.emit_with(now, || span(&inst, finish));
                 self.lsu_pipe.complete_at(finish, inst);
             }

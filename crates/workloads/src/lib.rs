@@ -27,6 +27,8 @@ pub mod util;
 pub use util::Scale;
 
 use gscalar_core::Workload;
+use gscalar_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, SReg};
+use gscalar_sim::memory::GlobalMemory;
 
 /// Benchmark abbreviations in Table 2 order (Rodinia, then Parboil).
 pub const ABBRS: [&str; 17] = [
@@ -64,6 +66,47 @@ pub fn by_abbr(abbr: &str, scale: Scale) -> Option<Workload> {
     suite(scale).into_iter().find(|w| w.abbr == abbr)
 }
 
+/// The divergent example kernel (paper Figure 7b), abbreviation `DIV`:
+/// a branch on `tid < 8` whose taken path runs a scalar chain on a
+/// warp-uniform value and whose other path does per-lane math, then a
+/// store. Small and fixed-shape, it is the shared probe kernel of the
+/// `trace` and `profile` tools and the profiler golden tests.
+#[must_use]
+pub fn divergent_example() -> Workload {
+    let mut b = KernelBuilder::new("divergent");
+    let tid = b.s2r(SReg::TidX);
+    let omega = b.mov(Operand::imm_f32(1.85)); // uniform parameter
+    let acc = b.mov_f32(0.0);
+    let p = b.isetp(CmpOp::Lt, tid.into(), Operand::Imm(8));
+    b.if_else(
+        p.into(),
+        |b| {
+            // Path A: chain on the uniform omega → divergent-scalar.
+            let c1 = b.fmul(omega.into(), Operand::imm_f32(0.5));
+            let c2 = b.fadd(c1.into(), Operand::imm_f32(0.1));
+            let c3 = b.fmul(c2.into(), c1.into());
+            b.fadd_to(acc, acc.into(), c3.into());
+        },
+        |b| {
+            // Path B: per-lane math → vector execution.
+            let t = b.i2f(tid.into());
+            let u = b.fmul(t.into(), Operand::imm_f32(0.25));
+            b.fadd_to(acc, acc.into(), u.into());
+        },
+    );
+    let off = b.shl(tid.into(), Operand::Imm(2));
+    let addr = b.iadd(off.into(), Operand::Imm(0x1_0000));
+    b.st_global(addr, acc, 0);
+    b.exit();
+    Workload::new(
+        "divergent",
+        "DIV",
+        b.build().expect("kernel is valid"),
+        LaunchConfig::linear(4, 64),
+        GlobalMemory::new(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +128,17 @@ mod tests {
     fn by_abbr_finds_and_misses() {
         assert!(by_abbr("LBM", Scale::Test).is_some());
         assert!(by_abbr("XXX", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn divergent_example_actually_diverges() {
+        use gscalar_core::{Arch, Runner};
+        use gscalar_sim::GpuConfig;
+        let w = divergent_example();
+        assert_eq!(w.abbr, "DIV");
+        let report = Runner::new(GpuConfig::test_small()).run(&w, Arch::GScalar);
+        assert!(report.stats.instr.divergent_instrs > 0);
+        assert!(report.stats.instr.executed_scalar > 0);
     }
 
     #[test]
