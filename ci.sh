@@ -21,8 +21,23 @@ cargo test -q --workspace --offline
 echo "== bench smoke + regression compare"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-./target/release/probe --scale test --json "$tmp/probe.json" > /dev/null
+# Two workers: exercises the parallel sweep path in CI; manifests are
+# schedule-independent, so the baseline compare is unaffected.
+./target/release/probe --scale test --threads 2 --json "$tmp/probe.json" > /dev/null
 ./target/release/report compare ci/baseline "$tmp"
+
+echo "== sweep smoke (parallel run, resume, deterministic manifests)"
+./target/release/sweep probe --scale test --threads 2 --out "$tmp/sweep" 2> /dev/null
+# Deterministic manifests: the parallel sweep writes the same bytes a
+# serial standalone run does.
+./target/release/probe --scale test --deterministic \
+    --json "$tmp/serial-probe.json" > /dev/null
+cmp "$tmp/sweep/probe.json" "$tmp/serial-probe.json"
+# Rerun over the same results dir: everything must resume, not re-run.
+# (Capture first: grep -q closing the pipe early would SIGPIPE the
+# sweep under pipefail.)
+rerun=$(./target/release/sweep probe --scale test --threads 2 --out "$tmp/sweep" 2>&1)
+grep -q "0 executed" <<< "$rerun"
 
 echo "== profile smoke"
 # Separate subdirectory: the compare above globs $tmp/*.json and must

@@ -5,55 +5,8 @@
 //! uniform-byte-prefix fraction of coalesced warp address streams when
 //! computed at 32-bit vs 64-bit width.
 
-use gscalar_bench::Report;
-use gscalar_compress::{bytewise, full_mask};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("abl_addr64");
-    r.title("Extension: 32-bit vs 64-bit address compression opportunity");
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "address pattern", "32b saved", "64b saved", "gain"
-    );
-    let mask = full_mask(32);
-    let patterns: Vec<(&str, &str, u64, u64)> = vec![
-        // (name, metric slug, base, per-lane stride)
-        (
-            "unit-stride floats",
-            "unit-stride",
-            0x0000_0002_4000_0000,
-            4,
-        ),
-        ("row-major matrix", "row-major", 0x0000_0007_1000_0000, 256),
-        (
-            "strided struct-of-arrays",
-            "strided-soa",
-            0x0000_001F_8000_0000,
-            64,
-        ),
-        ("page-crossing", "page-crossing", 0x0000_0000_FFFF_FF00, 32),
-    ];
-    for (name, slug, base, stride) in patterns {
-        let addrs64: Vec<u64> = (0..32u64).map(|i| base + i * stride).collect();
-        let addrs32: Vec<u32> = addrs64.iter().map(|&a| a as u32).collect();
-        let p64 = bytewise::uniform_prefix_bytes_u64(&addrs64, mask);
-        let enc32 = bytewise::encode(&addrs32, mask);
-        let saved32 = enc32.base_bytes() as f64 / 4.0;
-        let saved64 = p64 as f64 / 8.0;
-        println!(
-            "{:<28} {:>11.0}% {:>11.0}% {:>11.0}%",
-            name,
-            100.0 * saved32,
-            100.0 * saved64,
-            100.0 * (saved64 - saved32)
-        );
-        r.metric(&format!("{slug}/saved32_pct"), 100.0 * saved32);
-        r.metric(&format!("{slug}/saved64_pct"), 100.0 * saved64);
-        r.metric(&format!("{slug}/gain_pct"), 100.0 * (saved64 - saved32));
-    }
-    r.blank();
-    r.note("64-bit addressing raises the uniform-prefix fraction on every");
-    r.note("pattern (the top four bytes of device pointers rarely differ");
-    r.note("within a warp), supporting the paper's claim.");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_addr64")
 }

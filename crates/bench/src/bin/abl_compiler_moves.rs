@@ -7,58 +7,8 @@
 //! many destinations dead and skip the move; this study measures how
 //! many moves our liveness analysis elides.
 
-use gscalar_bench::Report;
-use gscalar_core::Arch;
-use gscalar_sim::{Gpu, GpuConfig};
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("abl_compiler_moves");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Extension: decompress-move elision via liveness analysis");
-    r.table(&["hw-moves", "cc-moves", "elided", "hw-ovh%", "cc-ovh%"]);
-    let mut total_hw = 0u64;
-    let mut total_cc = 0u64;
-    for w in suite(Scale::Full) {
-        let run = |compiler: bool| {
-            let mut arch = Arch::GScalar.config();
-            arch.compiler_assisted_moves = compiler;
-            let mut gpu = Gpu::new(cfg.clone(), arch);
-            let mut mem = w.memory.clone();
-            gpu.run(&w.kernel, w.launch, &mut mem)
-        };
-        let hw = run(false);
-        let cc = run(true);
-        total_hw += hw.instr.decompress_moves;
-        total_cc += cc.instr.decompress_moves;
-        r.add_cycles(hw.cycles + cc.cycles);
-        let hw_ovh = 100.0 * hw.instr.decompress_moves as f64 / hw.instr.warp_instrs as f64;
-        let cc_ovh = 100.0 * cc.instr.decompress_moves as f64 / cc.instr.warp_instrs as f64;
-        let vals = [
-            hw.instr.decompress_moves as f64,
-            cc.instr.decompress_moves as f64,
-            cc.instr.decompress_moves_elided as f64,
-            hw_ovh,
-            cc_ovh,
-        ];
-        r.row(&w.abbr, &vals, |x| {
-            if x.fract() == 0.0 && x.abs() < 1e9 {
-                format!("{x:.0}")
-            } else {
-                format!("{x:.2}")
-            }
-        });
-    }
-    let removed = 100.0 * (1.0 - total_cc as f64 / total_hw.max(1) as f64);
-    r.blank();
-    r.note(&format!(
-        "suite total: {total_hw} moves hardware-only → {total_cc} with liveness elision ({removed:.0}% removed)"
-    ));
-    r.metric("total/hw_moves", total_hw as f64);
-    r.metric("total/cc_moves", total_cc as f64);
-    r.metric("total/removed_pct", removed);
-    r.note("paper: hardware-only costs ~2% dynamic instructions; compile-time");
-    r.note("lifetime analysis \"may further reduce the overhead\" (Section 3.3).");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_compiler_moves")
 }

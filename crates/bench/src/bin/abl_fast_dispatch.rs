@@ -7,43 +7,8 @@
 //! e.g. an 8-cycle SFU dispatch becomes 1. This study measures that
 //! opportunity.
 
-use gscalar_bench::{mean, Report};
-use gscalar_core::Arch;
-use gscalar_sim::{Gpu, GpuConfig};
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("abl_fast_dispatch");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Extension: scalar fast dispatch (IPC normalized to baseline)");
-    r.table(&["G-Scalar", "fast-disp", "speedup%"]);
-    let mut gains = Vec::new();
-    for w in suite(Scale::Full) {
-        let mut cycles = 0u64;
-        let mut run = |fast: bool, arch: Arch| {
-            let mut a = arch.config();
-            a.scalar_fast_dispatch = fast;
-            let mut gpu = Gpu::new(cfg.clone(), a);
-            let mut mem = w.memory.clone();
-            let s = gpu.run(&w.kernel, w.launch, &mut mem);
-            cycles += s.cycles;
-            s.ipc()
-        };
-        let base = run(false, Arch::Baseline);
-        let gs = run(false, Arch::GScalar) / base;
-        let fast = run(true, Arch::GScalar) / base;
-        let gain = 100.0 * (fast / gs - 1.0);
-        gains.push(gain);
-        r.add_cycles(cycles);
-        r.row(&w.abbr, &[gs, fast, gain], |x| format!("{x:.3}"));
-    }
-    let avg = mean(&gains);
-    r.row_text("AVG", &["".into(), "".into(), format!("{avg:+.1}")]);
-    r.metric("AVG/speedup%", avg);
-    r.blank();
-    r.note("SFU-heavy benchmarks benefit most: a scalar special-function");
-    r.note("instruction frees the 4-lane SFU port after one cycle instead");
-    r.note("of eight (Section 6's Fermi/GCN observation).");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_fast_dispatch")
 }

@@ -9,58 +9,8 @@
 //! and execution resources and compares the prior-work design's
 //! scalar-bank serialization against G-Scalar's per-bank BVR arrays.
 
-use gscalar_bench::Report;
-use gscalar_core::Arch;
-use gscalar_sim::{Gpu, GpuConfig};
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn future_gpu() -> GpuConfig {
-    let mut c = GpuConfig::gtx480();
-    c.schedulers = 4;
-    c.alu_pipes = 4;
-    c.operand_collectors = 32;
-    c.rf_banks = 32;
-    c.regs_per_sm = 64 * 1024;
-    c.threads_per_sm = 2048;
-    c
-}
-
-fn main() {
-    let mut r = Report::new("abl_future_gpu");
-    let now = GpuConfig::gtx480();
-    let fut = future_gpu();
-    r.config(&now);
-    r.title("Extension: scalar-bank serializations per 1k instructions");
-    r.table(&["gtx480", "future", "gs-480", "gs-fut"]);
-    let mut tot = [0.0f64; 4];
-    let mut n = 0usize;
-    for w in suite(Scale::Full) {
-        let mut cycles = 0u64;
-        let mut run = |cfg: &GpuConfig, arch: Arch| {
-            let mut gpu = Gpu::new(cfg.clone(), arch.config());
-            let mut mem = w.memory.clone();
-            let s = gpu.run(&w.kernel, w.launch, &mut mem);
-            cycles += s.cycles;
-            1000.0 * s.pipe.scalar_bank_serializations as f64 / s.instr.warp_instrs as f64
-        };
-        let vals = [
-            run(&now, Arch::AluScalar),
-            run(&fut, Arch::AluScalar),
-            run(&now, Arch::GScalar),
-            run(&fut, Arch::GScalar),
-        ];
-        for (t, v) in tot.iter_mut().zip(vals) {
-            *t += v;
-        }
-        n += 1;
-        r.add_cycles(cycles);
-        r.row(&w.abbr, &vals, |x| format!("{x:.1}"));
-    }
-    let avg: Vec<f64> = tot.iter().map(|t| t / n.max(1) as f64).collect();
-    r.row("AVG", &avg, |x| format!("{x:.1}"));
-    r.blank();
-    r.note("with more schedulers and pipelines, pressure on the single scalar");
-    r.note("bank grows; G-Scalar's 16 (or 32) per-bank BVR arrays never");
-    r.note("serialize (Section 4.1's scalability argument).");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_future_gpu")
 }

@@ -5,53 +5,8 @@
 //! feature buys: the efficiency delta of G-Scalar with and without
 //! half-warp scalar execution.
 
-use gscalar_bench::{mean, Report};
-use gscalar_core::{Arch, Runner};
-use gscalar_power::synthesis::rf_area_overhead_fraction;
-use gscalar_sim::GpuConfig;
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("abl_half");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Ablation: half-warp scalar execution on/off (IPC/W, baseline = 1.0)");
-    r.table(&["no-half", "with-half", "delta%"]);
-    let runner = Runner::new(GpuConfig::gtx480());
-    let mut deltas = Vec::new();
-    for w in suite(Scale::Full) {
-        let base = runner.run(&w, Arch::Baseline);
-        let with = runner.run(&w, Arch::GScalar);
-        let mut arch = Arch::GScalar.config();
-        arch.scalar_half = false;
-        arch.name = "G-Scalar w/o half".into();
-        let mut gpu = gscalar_sim::Gpu::new(cfg.clone(), arch);
-        let mut mem = w.memory.clone();
-        let stats = gpu.run(&w.kernel, w.launch, &mut mem);
-        let power = gscalar_power::chip_power(
-            &stats,
-            &cfg,
-            gscalar_power::RfScheme::ByteWise,
-            true,
-            runner.energy(),
-        );
-        let b = base.power.ipc_per_watt();
-        let no_half = power.ipc_per_watt() / b;
-        let half = with.power.ipc_per_watt() / b;
-        let d = 100.0 * (half / no_half - 1.0);
-        deltas.push(d);
-        r.add_cycles(base.stats.cycles + with.stats.cycles + stats.cycles);
-        r.row(&w.abbr, &[no_half, half, d], |x| format!("{x:.3}"));
-    }
-    let avg = mean(&deltas);
-    r.row_text("AVG", &["".into(), "".into(), format!("{avg:+.2}")]);
-    r.metric("AVG/delta%", avg);
-    r.blank();
-    r.note(&format!(
-        "cost: RF area overhead {:.0}% → {:.0}% (Section 4.3); the paper keeps",
-        100.0 * rf_area_overhead_fraction(false),
-        100.0 * rf_area_overhead_fraction(true)
-    ));
-    r.note("half-warp scalar optional and non-divergent-only.");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_half")
 }

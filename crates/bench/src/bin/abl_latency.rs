@@ -4,43 +4,8 @@
 //! reports a 1.7% mean IPC loss (Section 5.4). This sweep varies the
 //! added depth to show how much headroom the latency-hiding gives.
 
-use gscalar_bench::{mean, Report};
-use gscalar_core::Arch;
-use gscalar_sim::{Gpu, GpuConfig};
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("abl_latency");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Ablation: IPC vs extra pipeline latency (normalized to +0)");
-    let depths = [0u64, 1, 3, 6, 12];
-    let head: Vec<String> = depths.iter().map(|d| format!("+{d}cyc")).collect();
-    let head_refs: Vec<&str> = head.iter().map(String::as_str).collect();
-    r.table(&head_refs);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
-    for w in suite(Scale::Full) {
-        let mut cycles = 0u64;
-        let mut ipc_at = |d: u64| {
-            let mut arch = Arch::GScalar.config();
-            arch.extra_latency = d;
-            let mut gpu = Gpu::new(cfg.clone(), arch);
-            let mut mem = w.memory.clone();
-            let s = gpu.run(&w.kernel, w.launch, &mut mem);
-            cycles += s.cycles;
-            s.ipc()
-        };
-        let base = ipc_at(0);
-        let vals: Vec<f64> = depths.iter().map(|&d| ipc_at(d) / base).collect();
-        for (c, v) in cols.iter_mut().zip(&vals) {
-            c.push(*v);
-        }
-        r.add_cycles(cycles);
-        r.row(&w.abbr, &vals, |x| format!("{x:.3}"));
-    }
-    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
-    r.row("AVG", &avg, |x| format!("{x:.3}"));
-    r.blank();
-    r.note("paper: +3 cycles costs 1.7% IPC on average (Section 5.4).");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_latency")
 }

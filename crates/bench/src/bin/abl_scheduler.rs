@@ -5,44 +5,8 @@
 //! weakens it. This ablation measures both baseline performance and the
 //! scalar-bank serialization pressure of the prior-work design.
 
-use gscalar_bench::Report;
-use gscalar_core::Arch;
-use gscalar_sim::scheduler::SchedPolicy;
-use gscalar_sim::{Gpu, GpuConfig};
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("abl_scheduler");
-    r.config(&GpuConfig::gtx480());
-    r.title("Ablation: GTO vs LRR (ALU-scalar architecture)");
-    r.table(&["gto-IPC", "lrr-IPC", "gto-ser", "lrr-ser"]);
-    for w in suite(Scale::Full) {
-        let run = |policy: SchedPolicy| {
-            let mut cfg = GpuConfig::gtx480();
-            cfg.sched = policy;
-            let mut gpu = Gpu::new(cfg, Arch::AluScalar.config());
-            let mut mem = w.memory.clone();
-            gpu.run(&w.kernel, w.launch, &mut mem)
-        };
-        let gto = run(SchedPolicy::Gto);
-        let lrr = run(SchedPolicy::Lrr);
-        r.add_cycles(gto.cycles + lrr.cycles);
-        let vals = [
-            gto.ipc(),
-            lrr.ipc(),
-            gto.pipe.scalar_bank_serializations as f64,
-            lrr.pipe.scalar_bank_serializations as f64,
-        ];
-        r.row(&w.abbr, &vals, |x| {
-            if x.fract() == 0.0 && x.abs() < 1e9 {
-                format!("{x:.0}")
-            } else {
-                format!("{x:.1}")
-            }
-        });
-    }
-    r.blank();
-    r.note("the single scalar bank serializes under both policies; warps running");
-    r.note("in lockstep (LRR) tend to burst scalar reads harder (Section 4.1).");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("abl_scheduler")
 }

@@ -5,105 +5,8 @@
 //! often, and what share of the benchmark's divergent instructions its
 //! paths account for.
 
-use gscalar_bench::{mean, row, Report};
-use gscalar_core::{Arch, Runner};
-use gscalar_sim::GpuConfig;
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("fig01_divergence");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    let runner = Runner::new(cfg.clone());
-    r.title("Figure 1: divergent / divergent-scalar instruction fractions");
-    r.table(&["divergent%", "div-scalar%"]);
-    let mut divs = Vec::new();
-    let mut dscals = Vec::new();
-    // Per-benchmark divergent-branch rows, rendered after the main
-    // table: (abbr, pc, execs, diverged, div-instr share, disasm).
-    let mut branch_rows: Vec<(String, usize, u64, u64, f64, String)> = Vec::new();
-    for w in suite(Scale::Full) {
-        let run = runner.run_profiled(&w, Arch::Baseline);
-        let stats = &run.report.stats;
-        let wi = stats.instr.warp_instrs as f64;
-        let d = 100.0 * stats.instr.divergent_instrs as f64 / wi;
-        let ds = 100.0 * stats.instr.eligible_divergent as f64 / wi;
-        divs.push(d);
-        dscals.push(ds);
-        r.add_cycles(stats.cycles);
-        r.row(&w.abbr, &[d, ds], |x| format!("{x:.1}"));
-        // Attribute the benchmark's divergent instructions to branches:
-        // every divergent issue happens on the path below some diverged
-        // branch, so the diverged branches (sorted by diverged count)
-        // tell *where* Figure 1's divergence comes from.
-        let total_div = stats.instr.divergent_instrs.max(1) as f64;
-        for pc in run.profile.executed_pcs() {
-            let rec = run.profile.record(pc);
-            if rec.branch.diverged == 0 {
-                continue;
-            }
-            // Divergent issues on the instructions strictly between the
-            // branch and its reconvergence point ran under this branch.
-            let reconv = w
-                .kernel
-                .reconvergence_pc(pc)
-                .unwrap_or_else(|| w.kernel.len());
-            let under: u64 = (pc + 1..reconv)
-                .map(|q| run.profile.record(q).divergent_issues)
-                .sum();
-            let share = 100.0 * under as f64 / total_div;
-            r.metric(
-                &format!("{}/branch{pc}/execs", w.abbr),
-                rec.branch.execs as f64,
-            );
-            r.metric(
-                &format!("{}/branch{pc}/diverged", w.abbr),
-                rec.branch.diverged as f64,
-            );
-            r.metric(&format!("{}/branch{pc}/div_share%", w.abbr), share);
-            branch_rows.push((
-                w.abbr.clone(),
-                pc,
-                rec.branch.execs,
-                rec.branch.diverged,
-                share,
-                w.kernel.instr(pc).to_string(),
-            ));
-        }
-    }
-    r.row("AVG", &[mean(&divs), mean(&dscals)], |x| format!("{x:.1}"));
-    r.blank();
-
-    r.title("Divergent branches (from the PC-level profiler):");
-    r.title(&row(
-        "bench",
-        &["pc", "execs", "diverged", "div-share%", "instr"].map(String::from),
-    ));
-    branch_rows.sort_by(|a, b| {
-        b.4.partial_cmp(&a.4)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-            .then(a.1.cmp(&b.1))
-    });
-    for (abbr, pc, execs, diverged, share, disasm) in &branch_rows {
-        r.row_text(
-            abbr,
-            &[
-                format!("{pc}"),
-                format!("{execs}"),
-                format!("{diverged}"),
-                format!("{share:.1}"),
-                format!("  {disasm}"),
-            ],
-        );
-    }
-    r.blank();
-    r.note("paper: avg 28% divergent; 45% of divergent instructions are");
-    r.note("divergent-scalar (i.e. ~12.6% of total).");
-    r.note(&format!(
-        "measured: {:.1}% divergent; {:.0}% of divergent are divergent-scalar.",
-        mean(&divs),
-        100.0 * mean(&dscals) / mean(&divs).max(1e-9)
-    ));
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("fig01_divergence")
 }

@@ -1,30 +1,7 @@
 //! Figure 8: register-file access distribution for operand values.
 
-use gscalar_bench::{mean, run_suite, Report};
-use gscalar_core::Arch;
-use gscalar_sim::GpuConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("fig08_rf_distribution");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Figure 8: RF access distribution (operand value similarity)");
-    r.table(&[
-        "scalar%", "3-byte%", "2-byte%", "1-byte%", "other%", "diverg%",
-    ]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
-    for (abbr, report) in run_suite(Arch::Baseline, &cfg) {
-        let f = report.stats.rf.histogram.fractions();
-        let vals: Vec<f64> = f.iter().map(|x| 100.0 * x).collect();
-        for (c, v) in cols.iter_mut().zip(&vals) {
-            c.push(*v);
-        }
-        r.add_cycles(report.stats.cycles);
-        r.row(&abbr, &vals, |x| format!("{x:.1}"));
-    }
-    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
-    r.row("AVG", &avg, |x| format!("{x:.1}"));
-    r.blank();
-    r.note("paper: avg scalar 36%, 3-byte 17%, 2-byte 4%, 1-byte 7%.");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("fig08_rf_distribution")
 }

@@ -1,33 +1,8 @@
 //! Figure 9: percentage of instructions eligible for scalar execution,
 //! cumulative over the paper's categories.
 
-use gscalar_bench::{mean, run_suite, Report};
-use gscalar_core::Arch;
-use gscalar_sim::GpuConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("fig09_scalar_eligibility");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Figure 9: instructions eligible for scalar execution (cumulative)");
-    r.table(&["ALU%", "all%", "half%", "diverg%"]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for (abbr, report) in run_suite(Arch::Baseline, &cfg) {
-        let i = &report.stats.instr;
-        let wi = i.warp_instrs as f64;
-        let alu = 100.0 * i.eligible_alu as f64 / wi;
-        let all = alu + 100.0 * (i.eligible_sfu + i.eligible_mem) as f64 / wi;
-        let half = all + 100.0 * i.eligible_half as f64 / wi;
-        let div = half + 100.0 * i.eligible_divergent as f64 / wi;
-        for (c, v) in cols.iter_mut().zip([alu, all, half, div]) {
-            c.push(v);
-        }
-        r.add_cycles(report.stats.cycles);
-        r.row(&abbr, &[alu, all, half, div], |x| format!("{x:.1}"));
-    }
-    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
-    r.row("AVG", &avg, |x| format!("{x:.1}"));
-    r.blank();
-    r.note("paper: ALU scalar 22%; +7% SFU/memory; +2% half; +9% divergent = 40%.");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("fig09_scalar_eligibility")
 }

@@ -1,37 +1,8 @@
 //! Figure 10: instructions eligible for half-(quarter-)warp scalar
 //! execution for warp sizes 32 and 64 (16-thread checking granularity).
 
-use gscalar_bench::{mean, Report};
-use gscalar_core::{Arch, Runner};
-use gscalar_sim::GpuConfig;
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("fig10_warp_size");
-    let cfg32 = GpuConfig::gtx480();
-    let mut cfg64 = GpuConfig::gtx480();
-    cfg64.warp_size = 64;
-    r.config(&cfg32);
-    r.title("Figure 10: half-scalar eligibility vs warp size");
-    r.table(&["warp32%", "warp64%"]);
-    let r32 = Runner::new(cfg32);
-    let r64 = Runner::new(cfg64);
-    let mut a32 = Vec::new();
-    let mut a64 = Vec::new();
-    for w in suite(Scale::Full) {
-        let s32 = r32.run(&w, Arch::Baseline).stats;
-        let s64 = r64.run(&w, Arch::Baseline).stats;
-        let h32 = 100.0 * s32.instr.eligible_half as f64 / s32.instr.warp_instrs as f64;
-        let h64 = 100.0 * s64.instr.eligible_half as f64 / s64.instr.warp_instrs as f64;
-        a32.push(h32);
-        a64.push(h64);
-        r.add_cycles(s32.cycles + s64.cycles);
-        r.row(&w.abbr, &[h32, h64], |x| format!("{x:.1}"));
-    }
-    r.row("AVG", &[mean(&a32), mean(&a64)], |x| format!("{x:.1}"));
-    r.blank();
-    r.note("paper: average half-scalar ~2% at warp 32, rising to ~5% at warp 64");
-    r.note("(full-warp-scalar instructions of two merged 32-thread warps become");
-    r.note("half-scalar at warp 64).");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("fig10_warp_size")
 }

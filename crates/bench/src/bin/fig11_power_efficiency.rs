@@ -1,53 +1,8 @@
 //! Figure 11: normalized GPU power efficiency (IPC/W) and the IPC
 //! impact of the +3-cycle compression latency.
 
-use gscalar_bench::{mean, Report};
-use gscalar_core::Arch;
-use gscalar_sim::GpuConfig;
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("fig11_power_efficiency");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Figure 11: normalized IPC/W (baseline = 1.0) and G-Scalar IPC");
-    r.table(&["ALUscal", "GS-w/o-div", "G-Scalar", "GS(IPC)"]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for w in suite(Scale::Full) {
-        let reports = gscalar_bench::run_workload_all_archs(&w, &cfg);
-        let base = &reports[0];
-        let base_eff = base.ipc_per_watt();
-        let base_ipc = base.stats.ipc();
-        let get = |a: Arch| {
-            reports
-                .iter()
-                .find(|x| x.arch == a)
-                .expect("arch simulated")
-        };
-        let alu = get(Arch::AluScalar).ipc_per_watt() / base_eff;
-        let nod = get(Arch::GScalarNoDivergent).ipc_per_watt() / base_eff;
-        let gs = get(Arch::GScalar).ipc_per_watt() / base_eff;
-        let gsipc = get(Arch::GScalar).stats.ipc() / base_ipc;
-        for (c, v) in cols.iter_mut().zip([alu, nod, gs, gsipc]) {
-            c.push(v);
-        }
-        for report in &reports {
-            r.add_cycles(report.stats.cycles);
-        }
-        r.row(&w.abbr, &[alu, nod, gs, gsipc], |x| format!("{x:.3}"));
-    }
-    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
-    r.row("AVG", &avg, |x| format!("{x:.3}"));
-    r.blank();
-    r.note("paper: G-Scalar +24% IPC/W vs baseline and +15% vs ALU-scalar;");
-    r.note("mean IPC degradation 1.7% (LC worst); BP gains 79%.");
-    let gs_avg = avg[2];
-    let alu_avg = avg[0];
-    r.note(&format!(
-        "measured: G-Scalar {:+.1}% vs baseline, {:+.1}% vs ALU-scalar; IPC {:+.1}%.",
-        100.0 * (gs_avg - 1.0),
-        100.0 * (gs_avg / alu_avg - 1.0),
-        100.0 * (avg[3] - 1.0)
-    ));
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("fig11_power_efficiency")
 }

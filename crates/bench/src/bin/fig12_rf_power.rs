@@ -1,43 +1,8 @@
 //! Figure 12: normalized register-file dynamic power under the four
 //! register-file designs, plus average compression ratios.
 
-use gscalar_bench::{mean, Report};
-use gscalar_core::{Arch, Runner};
-use gscalar_power::RfScheme;
-use gscalar_sim::GpuConfig;
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("fig12_rf_power");
-    let cfg = GpuConfig::gtx480();
-    r.config(&cfg);
-    r.title("Figure 12: normalized RF dynamic power (baseline = 1.0)");
-    r.table(&["scalar-only", "W-C", "ours", "ratio", "bdi-ratio"]);
-    let runner = Runner::new(cfg);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for w in suite(Scale::Full) {
-        let rows = runner.rf_power_normalized(&w);
-        let get = |s: RfScheme| rows.iter().find(|(x, _)| *x == s).expect("scheme").1;
-        let report = runner.run(&w, Arch::Baseline);
-        let ours_ratio = report.stats.rf.ours_ratio();
-        let bdi_ratio = report.stats.rf.bdi_ratio();
-        let vals = [
-            get(RfScheme::ScalarRf),
-            get(RfScheme::WarpedCompression),
-            get(RfScheme::ByteWise),
-            ours_ratio,
-            bdi_ratio,
-        ];
-        for (c, v) in cols.iter_mut().zip(vals) {
-            c.push(v);
-        }
-        r.add_cycles(report.stats.cycles);
-        r.row(&w.abbr, &vals, |x| format!("{x:.3}"));
-    }
-    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
-    r.row("AVG", &avg, |x| format!("{x:.3}"));
-    r.blank();
-    r.note("paper: scalar RF 63% of baseline, ours 46% (i.e. -54%); ours beats");
-    r.note("W-C slightly; compression ratio ours 2.17 vs BDI 2.13.");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("fig12_rf_power")
 }

@@ -1,51 +1,11 @@
 //! Quick calibration probe: per-benchmark characteristics vs paper targets.
 //!
-//! Supports `--scale test` for a fast CI smoke run and `--json [path]`
-//! for the machine-readable manifest (full per-run detail via
-//! [`Report::record_run`]).
+//! Supports `--scale test` for a fast CI smoke run, `--threads N` for
+//! parallel execution, and `--json [path]` for the machine-readable
+//! manifest (full per-run detail, `record_run`-compatible keys).
 
-use gscalar_bench::{parse_scale, Report};
-use gscalar_core::{Arch, Runner};
-use gscalar_sim::GpuConfig;
-use gscalar_workloads::suite;
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = parse_scale();
-    let mut rep = Report::new("probe");
-    let cfg = GpuConfig::gtx480();
-    rep.config(&cfg);
-    let runner = Runner::new(cfg);
-    println!(
-        "{:<6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
-        "bench",
-        "winstr",
-        "div%",
-        "dscal%",
-        "alu%",
-        "sfu%",
-        "mem%",
-        "half%",
-        "tot%",
-        "cycles",
-        "t(s)"
-    );
-    for w in suite(scale) {
-        let t0 = Instant::now();
-        let r = runner.run(&w, Arch::Baseline);
-        let s = &r.stats;
-        let wi = s.instr.warp_instrs as f64;
-        println!("{:<6} {:>9} {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>8} {:>6.2}",
-            w.abbr, s.instr.warp_instrs,
-            100.0*s.instr.divergent_instrs as f64/wi,
-            100.0*s.instr.eligible_divergent as f64/wi,
-            100.0*s.instr.eligible_alu as f64/wi,
-            100.0*s.instr.eligible_sfu as f64/wi,
-            100.0*s.instr.eligible_mem as f64/wi,
-            100.0*s.instr.eligible_half as f64/wi,
-            100.0*s.instr.eligible_total() as f64/wi,
-            s.cycles, t0.elapsed().as_secs_f64());
-        rep.record_run(&w.abbr, &r);
-    }
-    rep.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("probe")
 }

@@ -1,102 +1,7 @@
 //! Table 1: simulator configuration.
 
-use gscalar_bench::Report;
-use gscalar_sim::GpuConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("tab01_config");
-    let c = GpuConfig::gtx480();
-    r.config(&c);
-    r.title("Table 1: simulator configuration (GTX 480-like)");
-    let rows: Vec<(&str, &str, String, f64)> = vec![
-        (
-            "# of SMs",
-            "num_sms",
-            format!("{}", c.num_sms),
-            c.num_sms as f64,
-        ),
-        (
-            "Registers per SM",
-            "regs_kb",
-            format!("{} KB", c.regs_per_sm * 4 / 1024),
-            (c.regs_per_sm * 4 / 1024) as f64,
-        ),
-        (
-            "SM frequency",
-            "sm_ghz",
-            format!("{:.1} GHz", c.sm_clock_hz / 1e9),
-            c.sm_clock_hz / 1e9,
-        ),
-        (
-            "Register file banks",
-            "rf_banks",
-            format!("{}", c.rf_banks),
-            c.rf_banks as f64,
-        ),
-        (
-            "NoC frequency",
-            "noc_ghz",
-            format!("{:.1} GHz", c.noc_clock_hz / 1e9),
-            c.noc_clock_hz / 1e9,
-        ),
-        (
-            "OC per SM",
-            "operand_collectors",
-            format!("{}", c.operand_collectors),
-            c.operand_collectors as f64,
-        ),
-        (
-            "Warp size",
-            "warp_size",
-            format!("{}", c.warp_size),
-            c.warp_size as f64,
-        ),
-        (
-            "Schedulers per SM",
-            "schedulers",
-            format!("{}", c.schedulers),
-            c.schedulers as f64,
-        ),
-        (
-            "SIMT exe width",
-            "simt_width",
-            format!("{}", c.simt_width),
-            c.simt_width as f64,
-        ),
-        (
-            "L1$ per SM",
-            "l1_kb",
-            format!("{} KB", c.l1_bytes / 1024),
-            (c.l1_bytes / 1024) as f64,
-        ),
-        (
-            "Threads per SM",
-            "threads_per_sm",
-            format!("{}", c.threads_per_sm),
-            c.threads_per_sm as f64,
-        ),
-        (
-            "Memory channels",
-            "mem_channels",
-            format!("{}", c.mem_channels),
-            c.mem_channels as f64,
-        ),
-        (
-            "CTAs per SM",
-            "ctas_per_sm",
-            format!("{}", c.ctas_per_sm),
-            c.ctas_per_sm as f64,
-        ),
-        (
-            "L2$ size",
-            "l2_kb",
-            format!("{} KB", c.l2_bytes / 1024),
-            (c.l2_bytes / 1024) as f64,
-        ),
-    ];
-    for (label, key, text, value) in rows {
-        println!("  {label:<20} {text}");
-        r.metric(&format!("config/{key}"), value);
-    }
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("tab01_config")
 }

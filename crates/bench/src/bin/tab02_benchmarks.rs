@@ -1,27 +1,7 @@
 //! Table 2: the benchmark suite.
 
-use gscalar_bench::Report;
-use gscalar_workloads::{suite, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("tab02_benchmarks");
-    r.title("Table 2: benchmarks (synthetic reproductions; see DESIGN.md)");
-    println!(
-        "{:<12} {:<6} {:>8} {:>8} {:>8}",
-        "benchmark", "abbr", "ctas", "block", "instrs"
-    );
-    for w in suite(Scale::Full) {
-        println!(
-            "{:<12} {:<6} {:>8} {:>8} {:>8}",
-            w.name,
-            w.abbr,
-            w.launch.grid.count(),
-            w.launch.block.count(),
-            w.kernel.len()
-        );
-        r.metric(&format!("{}/ctas", w.abbr), w.launch.grid.count() as f64);
-        r.metric(&format!("{}/block", w.abbr), w.launch.block.count() as f64);
-        r.metric(&format!("{}/instrs", w.abbr), w.kernel.len() as f64);
-    }
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("tab02_benchmarks")
 }

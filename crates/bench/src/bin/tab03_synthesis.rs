@@ -1,47 +1,8 @@
 //! Table 3: compressor/decompressor synthesis results and the chip-level
 //! overhead arithmetic of Section 5.1.
 
-use gscalar_bench::Report;
-use gscalar_power::synthesis::{
-    rf_area_overhead_fraction, sm_overhead, COMPRESSOR, COMPRESSORS_PER_SM, DECOMPRESSOR,
-    DECOMPRESSORS_PER_SM,
-};
+use std::process::ExitCode;
 
-fn main() {
-    let mut r = Report::new("tab03_synthesis");
-    r.title("Table 3: encoder/decoder synthesis at 1.4 GHz (40 nm, incl. pipeline regs)");
-    println!(
-        "{:<14} {:>12} {:>10} {:>10}",
-        "", "area (um^2)", "delay(ns)", "power(mW)"
-    );
-    println!(
-        "{:<14} {:>12.0} {:>10.2} {:>10.2}",
-        "decompressor", DECOMPRESSOR.area_um2, DECOMPRESSOR.delay_ns, DECOMPRESSOR.power_mw
-    );
-    println!(
-        "{:<14} {:>12.0} {:>10.2} {:>10.2}",
-        "compressor", COMPRESSOR.area_um2, COMPRESSOR.delay_ns, COMPRESSOR.power_mw
-    );
-    for (name, s) in [("decompressor", &DECOMPRESSOR), ("compressor", &COMPRESSOR)] {
-        r.metric(&format!("{name}/area_um2"), s.area_um2);
-        r.metric(&format!("{name}/delay_ns"), s.delay_ns);
-        r.metric(&format!("{name}/power_mw"), s.power_mw);
-    }
-    let o = sm_overhead();
-    r.blank();
-    r.note(&format!(
-        "per SM: {} decompressors + {} compressors = {:.2} W, {:.3} mm^2",
-        DECOMPRESSORS_PER_SM, COMPRESSORS_PER_SM, o.power_w, o.area_mm2
-    ));
-    r.metric("sm_overhead/power_w", o.power_w);
-    r.metric("sm_overhead/area_mm2", o.area_mm2);
-    let full = 100.0 * rf_area_overhead_fraction(false);
-    let half = 100.0 * rf_area_overhead_fraction(true);
-    r.note(&format!(
-        "RF area overhead: {full:.0}% (full-register), {half:.0}% (half-register)"
-    ));
-    r.metric("rf_area_overhead/full_pct", full);
-    r.metric("rf_area_overhead/half_pct", half);
-    r.note("paper: 0.32 W (1.6%) and 0.16 mm^2 (0.7%) per SM; RF +3%/+7%.");
-    r.finish();
+fn main() -> ExitCode {
+    gscalar_bench::experiments::main_single("tab03_synthesis")
 }

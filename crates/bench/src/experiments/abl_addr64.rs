@@ -1,0 +1,80 @@
+//! Extension study: 64-bit address computation (Section 5.3 prose).
+//!
+//! "If the addresses are 64-bit, we can have more bytes with the same
+//! value and thus more power reduction." This study compares the
+//! uniform-byte-prefix fraction of coalesced warp address streams when
+//! computed at 32-bit vs 64-bit width.
+
+use gscalar_compress::{bytewise, full_mask};
+use gscalar_sweep::{JobId, JobOutput, JobSpec, ResultSet};
+use gscalar_workloads::Scale;
+
+use crate::Report;
+
+/// Registry name.
+pub const NAME: &str = "abl_addr64";
+
+/// The studied address patterns: (name, metric slug, base, per-lane
+/// stride).
+const PATTERNS: [(&str, &str, u64, u64); 4] = [
+    (
+        "unit-stride floats",
+        "unit-stride",
+        0x0000_0002_4000_0000,
+        4,
+    ),
+    ("row-major matrix", "row-major", 0x0000_0007_1000_0000, 256),
+    (
+        "strided struct-of-arrays",
+        "strided-soa",
+        0x0000_001F_8000_0000,
+        64,
+    ),
+    ("page-crossing", "page-crossing", 0x0000_0000_FFFF_FF00, 32),
+];
+
+/// A single job ("patterns"): byte-savings of every address pattern at
+/// both widths.
+pub fn grid(_scale: Scale) -> Vec<JobSpec> {
+    vec![JobSpec::new(JobId::new(NAME, "patterns"), |_ctx| {
+        let mask = full_mask(32);
+        let mut out = JobOutput::default();
+        for (_, slug, base, stride) in PATTERNS {
+            let addrs64: Vec<u64> = (0..32u64).map(|i| base + i * stride).collect();
+            let addrs32: Vec<u32> = addrs64.iter().map(|&a| a as u32).collect();
+            let p64 = bytewise::uniform_prefix_bytes_u64(&addrs64, mask);
+            let enc32 = bytewise::encode(&addrs32, mask);
+            let saved32 = enc32.base_bytes() as f64 / 4.0;
+            let saved64 = p64 as f64 / 8.0;
+            out.metric(format!("{slug}/saved32_pct"), 100.0 * saved32);
+            out.metric(format!("{slug}/saved64_pct"), 100.0 * saved64);
+            out.metric(format!("{slug}/gain_pct"), 100.0 * (saved64 - saved32));
+        }
+        Ok(out)
+    })]
+}
+
+/// Renders the address-width comparison from job metrics.
+pub fn render(r: &mut Report, rs: &ResultSet, _scale: Scale) {
+    let m = |key: String| rs.metric(NAME, "patterns", &key);
+    r.title("Extension: 32-bit vs 64-bit address compression opportunity");
+    r.note(&format!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "address pattern", "32b saved", "64b saved", "gain"
+    ));
+    for (name, slug, _, _) in PATTERNS {
+        let s32 = m(format!("{slug}/saved32_pct"));
+        let s64 = m(format!("{slug}/saved64_pct"));
+        let gain = m(format!("{slug}/gain_pct"));
+        r.note(&format!(
+            "{name:<28} {s32:>11.0}% {s64:>11.0}% {gain:>11.0}%"
+        ));
+        r.metric(&format!("{slug}/saved32_pct"), s32);
+        r.metric(&format!("{slug}/saved64_pct"), s64);
+        r.metric(&format!("{slug}/gain_pct"), gain);
+    }
+    r.blank();
+    r.note("64-bit addressing raises the uniform-prefix fraction on every");
+    r.note("pattern (the top four bytes of device pointers rarely differ");
+    r.note("within a warp), supporting the paper's claim.");
+}

@@ -1,0 +1,58 @@
+//! Figure 8: register-file access distribution for operand values.
+
+use gscalar_core::Arch;
+use gscalar_sim::GpuConfig;
+use gscalar_sweep::{JobOutput, JobSpec, ResultSet};
+use gscalar_workloads::{suite, Scale};
+
+use crate::{mean, Report};
+
+use super::{suite_grid, JobSim};
+
+/// Registry name.
+pub const NAME: &str = "fig08_rf_distribution";
+
+/// The figure's columns, in [`gscalar_compress`] histogram order.
+const COLS: [&str; 6] = [
+    "scalar%", "3-byte%", "2-byte%", "1-byte%", "other%", "diverg%",
+];
+
+/// One job per benchmark: a baseline run reduced to the six operand
+/// similarity-class percentages.
+pub fn grid(scale: Scale) -> Vec<JobSpec> {
+    suite_grid(NAME, scale, |w, ctx| {
+        let runner = gscalar_core::Runner::new(GpuConfig::gtx480());
+        let mut sim = JobSim::new(ctx);
+        let report = sim.run(&runner, w, Arch::Baseline)?;
+        let f = report.stats.rf.histogram.fractions();
+        let mut out = JobOutput {
+            sim_cycles: report.stats.cycles,
+            ..JobOutput::default()
+        };
+        for (col, x) in COLS.iter().zip(f) {
+            out.metric(*col, 100.0 * x);
+        }
+        Ok(out)
+    })
+}
+
+/// Renders the distribution table and suite average from job metrics.
+pub fn render(r: &mut Report, rs: &ResultSet, scale: Scale) {
+    let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.title("Figure 8: RF access distribution (operand value similarity)");
+    r.table(&COLS);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); COLS.len()];
+    for w in suite(scale) {
+        let vals: Vec<f64> = COLS.iter().map(|c| rs.metric(NAME, &w.abbr, c)).collect();
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        r.row(&w.abbr, &vals, |x| format!("{x:.1}"));
+    }
+    let avg: Vec<f64> = cols.iter().map(|c| mean(c)).collect();
+    r.row("AVG", &avg, |x| format!("{x:.1}"));
+    r.blank();
+    r.note("paper: avg scalar 36%, 3-byte 17%, 2-byte 4%, 1-byte 7%.");
+    r.add_cycles(rs.sim_cycles(NAME));
+}

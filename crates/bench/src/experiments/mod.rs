@@ -1,0 +1,364 @@
+//! The experiment registry: every figure/table binary as a (grid,
+//! render) pair over the sweep engine.
+//!
+//! Each experiment splits into two pure halves:
+//!
+//! * **grid** — the work: one [`JobSpec`] per independent unit
+//!   (usually one benchmark of the suite), each returning raw metric
+//!   cells keyed by the final table's column names.
+//! * **render** — the presentation: rebuilds the familiar text table
+//!   and manifest *only* from job metrics plus static data (the suite
+//!   definition, hardware config, paper constants). Because render
+//!   never re-simulates, an experiment resumed from on-disk job
+//!   manifests renders byte-identically to a fresh run.
+//!
+//! The standalone binaries ([`main_single`]) and the `sweep` binary
+//! both drive experiments through this registry, so there is exactly
+//! one code path producing every figure and table.
+
+use std::process::ExitCode;
+
+use gscalar_core::{Arch, BudgetExceeded, RunReport, Runner, Workload};
+use gscalar_sim::GpuConfig;
+use gscalar_sweep::{
+    run_sweep, JobCtx, JobError, JobOutput, JobSpec, Progress, ResultSet, SweepConfig,
+};
+use gscalar_workloads::Scale;
+
+use crate::Report;
+
+pub mod abl_addr64;
+pub mod abl_compiler_moves;
+pub mod abl_fast_dispatch;
+pub mod abl_future_gpu;
+pub mod abl_half;
+pub mod abl_latency;
+pub mod abl_scheduler;
+pub mod fig01_divergence;
+pub mod fig08_rf_distribution;
+pub mod fig09_scalar_eligibility;
+pub mod fig10_warp_size;
+pub mod fig11_power_efficiency;
+pub mod fig12_rf_power;
+pub mod probe;
+pub mod tab01_config;
+pub mod tab02_benchmarks;
+pub mod tab03_synthesis;
+
+/// One registered experiment: a job grid plus a pure render.
+pub struct Experiment {
+    /// Registry name (= binary name = manifest `bench` field).
+    pub name: &'static str,
+    /// One-line description for `sweep --list`.
+    pub about: &'static str,
+    /// Builds the experiment's job grid at `scale`.
+    pub grid: fn(Scale) -> Vec<JobSpec>,
+    /// Renders tables + manifest from completed job results.
+    pub render: fn(&mut Report, &ResultSet, Scale),
+}
+
+/// Every experiment, in the order the paper presents them.
+#[must_use]
+pub fn all() -> Vec<Experiment> {
+    macro_rules! exp {
+        ($m:ident, $about:expr) => {
+            Experiment {
+                name: $m::NAME,
+                about: $about,
+                grid: $m::grid,
+                render: $m::render,
+            }
+        };
+    }
+    vec![
+        exp!(tab01_config, "Table 1: simulator configuration"),
+        exp!(tab02_benchmarks, "Table 2: the benchmark suite"),
+        exp!(
+            fig01_divergence,
+            "Figure 1: divergent instruction fractions"
+        ),
+        exp!(fig08_rf_distribution, "Figure 8: RF access distribution"),
+        exp!(
+            fig09_scalar_eligibility,
+            "Figure 9: scalar-eligible instructions (cumulative)"
+        ),
+        exp!(
+            fig10_warp_size,
+            "Figure 10: half-scalar eligibility vs warp size"
+        ),
+        exp!(
+            fig11_power_efficiency,
+            "Figure 11: normalized IPC/W and G-Scalar IPC"
+        ),
+        exp!(fig12_rf_power, "Figure 12: normalized RF dynamic power"),
+        exp!(tab03_synthesis, "Table 3: synthesis results and overheads"),
+        exp!(abl_latency, "Ablation: IPC vs extra pipeline latency"),
+        exp!(abl_half, "Ablation: half-warp scalar execution on/off"),
+        exp!(abl_scheduler, "Ablation: GTO vs LRR scheduling"),
+        exp!(abl_addr64, "Extension: 32- vs 64-bit address compression"),
+        exp!(abl_compiler_moves, "Extension: decompress-move elision"),
+        exp!(abl_fast_dispatch, "Extension: one-cycle scalar dispatch"),
+        exp!(abl_future_gpu, "Extension: scalar-bank scalability"),
+        exp!(probe, "Calibration probe: per-benchmark characteristics"),
+    ]
+}
+
+/// Looks an experiment up by registry name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+/// Cumulative cycle-budget accounting for one job's simulations.
+///
+/// A job often runs several simulations (architecture variants, config
+/// sweeps); the budget in [`JobCtx`] covers their *sum*. `JobSim`
+/// threads the remaining allowance into each budgeted run and converts
+/// a [`BudgetExceeded`] into the job-level [`JobError::Budget`] with
+/// cumulative cycle counts. When the allowance is already exhausted the
+/// next run gets a budget of 1 cycle, so it trips deterministically on
+/// its first observer sample.
+pub struct JobSim {
+    budget: u64,
+    used: u64,
+}
+
+impl JobSim {
+    /// Starts accounting against the job's budget (0 = unlimited).
+    #[must_use]
+    pub fn new(ctx: &JobCtx) -> Self {
+        JobSim {
+            budget: ctx.cycle_budget,
+            used: 0,
+        }
+    }
+
+    /// Cycles simulated so far across this job's runs.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The budget to hand the next simulation (0 = unlimited).
+    fn remaining(&self) -> u64 {
+        if self.budget == 0 {
+            0
+        } else {
+            self.budget.saturating_sub(self.used).max(1)
+        }
+    }
+
+    fn overrun(&self, in_run: u64) -> JobError {
+        JobError::Budget {
+            cycles: self.used + in_run,
+            budget: self.budget,
+        }
+    }
+
+    /// Runs `workload` on `arch` under the remaining budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Budget`] when the cumulative budget trips.
+    pub fn run(
+        &mut self,
+        runner: &Runner,
+        workload: &Workload,
+        arch: Arch,
+    ) -> Result<RunReport, JobError> {
+        match runner.run_budgeted(workload, arch, self.remaining()) {
+            Ok(r) => {
+                self.used += r.stats.cycles;
+                Ok(r)
+            }
+            Err(e) => Err(self.overrun(e.cycles)),
+        }
+    }
+
+    /// Runs `workload` under a custom [`gscalar_sim::ArchConfig`] with
+    /// the remaining budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Budget`] when the cumulative budget trips.
+    pub fn run_stats(
+        &mut self,
+        cfg: &GpuConfig,
+        arch_cfg: gscalar_sim::ArchConfig,
+        workload: &Workload,
+    ) -> Result<gscalar_sim::Stats, JobError> {
+        match gscalar_core::run_stats_budgeted(cfg, arch_cfg, workload, self.remaining()) {
+            Ok(s) => {
+                self.used += s.cycles;
+                Ok(s)
+            }
+            Err(BudgetExceeded { cycles, .. }) => Err(self.overrun(cycles)),
+        }
+    }
+
+    /// Post-hoc accounting for runs without a budgeted entry point
+    /// (e.g. profiled runs): charge the cycles and fail if the
+    /// cumulative budget is now exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Budget`] when the charge overruns the budget.
+    pub fn charge(&mut self, cycles: u64) -> Result<(), JobError> {
+        self.used += cycles;
+        if self.budget != 0 && self.used > self.budget {
+            Err(JobError::Budget {
+                cycles: self.used,
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy)]
+pub struct CliOptions {
+    /// Workload scale (`--scale test|full`, default full).
+    pub scale: Scale,
+    /// Worker threads (`--threads N`, default 1; 0 = all cores).
+    pub threads: usize,
+    /// Per-job simulated-cycle budget (`--budget N`, default unlimited).
+    pub budget: u64,
+}
+
+impl CliOptions {
+    /// Parses the options from `args`, ignoring flags owned by
+    /// [`Report::from_args`] (`--json`, `--deterministic`) and anything
+    /// else unknown.
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut o = CliOptions {
+            scale: Scale::Full,
+            threads: 1,
+            budget: 0,
+        };
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    if let Some("test") = it.next().as_deref() {
+                        o.scale = Scale::Test;
+                    }
+                }
+                "--threads" => {
+                    if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                        o.threads = n;
+                    }
+                }
+                "--budget" => {
+                    if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                        o.budget = n;
+                    }
+                }
+                _ => {}
+            }
+        }
+        o
+    }
+}
+
+/// The whole main of a standalone experiment binary: parse options,
+/// run the grid through the sweep engine (in-memory, no results dir),
+/// and render. Failures print one line per job to stderr and exit
+/// nonzero.
+#[must_use]
+pub fn main_single(name: &str) -> ExitCode {
+    let exp = by_name(name).unwrap_or_else(|| panic!("experiment {name} not registered"));
+    let opts = CliOptions::parse(std::env::args().skip(1));
+    let mut specs = (exp.grid)(opts.scale);
+    if opts.budget > 0 {
+        for s in &mut specs {
+            s.cycle_budget = opts.budget;
+        }
+    }
+    let cfg = SweepConfig {
+        threads: opts.threads,
+        out_dir: None,
+        max_retries: 0,
+        progress: Progress::Quiet,
+    };
+    let outcome = run_sweep(&specs, &cfg);
+    if !outcome.all_completed() {
+        for f in &outcome.failures {
+            eprintln!("{}: job {} failed ({}): {}", name, f.job, f.kind, f.message);
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut r = Report::new(name);
+    (exp.render)(&mut r, &outcome.results, opts.scale);
+    r.finish();
+    ExitCode::SUCCESS
+}
+
+/// Builds one [`JobSpec`] per suite workload via `job`, which receives
+/// the workload by value and the job context.
+pub(crate) fn suite_grid<F>(name: &'static str, scale: Scale, job: F) -> Vec<JobSpec>
+where
+    F: Fn(&Workload, &JobCtx) -> Result<JobOutput, JobError> + Send + Sync + Clone + 'static,
+{
+    gscalar_workloads::suite(scale)
+        .into_iter()
+        .map(|w| {
+            let job = job.clone();
+            let id = gscalar_sweep::JobId::new(name, &w.abbr);
+            JobSpec::new(id, move |ctx| job(&w, ctx))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let exps = all();
+        assert_eq!(exps.len(), 17);
+        for e in &exps {
+            assert!(by_name(e.name).is_some(), "{} resolves", e.name);
+        }
+        let mut names: Vec<_> = exps.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), exps.len(), "names are unique");
+    }
+
+    #[test]
+    fn cli_options_parse_known_flags() {
+        let o = CliOptions::parse(["--scale", "test", "--threads", "4", "--budget", "5000"]);
+        assert!(matches!(o.scale, Scale::Test));
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.budget, 5000);
+        let d = CliOptions::parse(Vec::<String>::new());
+        assert!(matches!(d.scale, Scale::Full));
+        assert_eq!(d.threads, 1);
+        assert_eq!(d.budget, 0);
+    }
+
+    #[test]
+    fn jobsim_budget_trips_cumulatively() {
+        let ctx = JobCtx { cycle_budget: 100 };
+        let mut sim = JobSim::new(&ctx);
+        assert!(sim.charge(60).is_ok());
+        let err = sim.charge(60).unwrap_err();
+        assert!(matches!(
+            err,
+            JobError::Budget {
+                cycles: 120,
+                budget: 100
+            }
+        ));
+        // Unlimited budget never trips.
+        let mut free = JobSim::new(&JobCtx { cycle_budget: 0 });
+        assert!(free.charge(u64::MAX / 2).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! Quick calibration probe: per-benchmark characteristics vs paper
+//! targets, with full per-run detail via [`crate::run_metrics`].
+
+use gscalar_core::Arch;
+use gscalar_sim::GpuConfig;
+use gscalar_sweep::{JobOutput, JobSpec, ResultSet};
+use gscalar_workloads::{suite, Scale};
+
+use crate::{run_metrics, Report};
+
+use super::{suite_grid, JobSim};
+
+/// Registry name.
+pub const NAME: &str = "probe";
+
+/// One job per benchmark: a baseline run recorded as the full
+/// [`crate::run_metrics`] set (keys already prefixed with the abbr, as
+/// `Report::record_run` would write them).
+pub fn grid(scale: Scale) -> Vec<JobSpec> {
+    suite_grid(NAME, scale, |w, ctx| {
+        let runner = gscalar_core::Runner::new(GpuConfig::gtx480());
+        let mut sim = JobSim::new(ctx);
+        let report = sim.run(&runner, w, Arch::Baseline)?;
+        Ok(JobOutput {
+            sim_cycles: report.stats.cycles,
+            metrics: run_metrics(&w.abbr, &report),
+        })
+    })
+}
+
+/// Renders the probe table from job metrics; the job manifests carry
+/// the exact `record_run` metric set, so they are copied through
+/// verbatim. The t(s) column reports each job's host wall time (0.00
+/// for results resumed from disk or under deterministic output).
+pub fn render(r: &mut Report, rs: &ResultSet, scale: Scale) {
+    let cfg = GpuConfig::gtx480();
+    r.config(&cfg);
+    r.note(&format!(
+        "{:<6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "bench",
+        "winstr",
+        "div%",
+        "dscal%",
+        "alu%",
+        "sfu%",
+        "mem%",
+        "half%",
+        "tot%",
+        "cycles",
+        "t(s)"
+    ));
+    for w in suite(scale) {
+        let jr = rs.get(NAME, &w.abbr).expect("job result present");
+        let g = |k: &str| rs.metric(NAME, &w.abbr, &format!("{}/{}", w.abbr, k));
+        let wi = g("instr/warp");
+        let eligible_total = g("scalar/eligible_alu")
+            + g("scalar/eligible_sfu")
+            + g("scalar/eligible_mem")
+            + g("scalar/eligible_half")
+            + g("scalar/eligible_divergent");
+        r.note(&format!(
+            "{:<6} {:>9} {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>8} {:>6.2}",
+            w.abbr,
+            wi,
+            100.0 * g("instr/divergent") / wi,
+            100.0 * g("scalar/eligible_divergent") / wi,
+            100.0 * g("scalar/eligible_alu") / wi,
+            100.0 * g("scalar/eligible_sfu") / wi,
+            100.0 * g("scalar/eligible_mem") / wi,
+            100.0 * g("scalar/eligible_half") / wi,
+            100.0 * eligible_total / wi,
+            g("cycles"),
+            if r.deterministic() { 0.0 } else { jr.wall_s }
+        ));
+        for (k, v) in &jr.metrics {
+            r.metric(k, *v);
+        }
+    }
+    r.add_cycles(rs.sim_cycles(NAME));
+}

@@ -1,0 +1,129 @@
+//! Table 1: simulator configuration.
+
+use gscalar_sim::GpuConfig;
+use gscalar_sweep::{JobId, JobOutput, JobSpec, ResultSet};
+use gscalar_workloads::Scale;
+
+use crate::Report;
+
+/// Registry name.
+pub const NAME: &str = "tab01_config";
+
+/// Table rows: (display label, metric key, display text, value).
+fn rows(c: &GpuConfig) -> Vec<(&'static str, &'static str, String, f64)> {
+    vec![
+        (
+            "# of SMs",
+            "num_sms",
+            format!("{}", c.num_sms),
+            c.num_sms as f64,
+        ),
+        (
+            "Registers per SM",
+            "regs_kb",
+            format!("{} KB", c.regs_per_sm * 4 / 1024),
+            (c.regs_per_sm * 4 / 1024) as f64,
+        ),
+        (
+            "SM frequency",
+            "sm_ghz",
+            format!("{:.1} GHz", c.sm_clock_hz / 1e9),
+            c.sm_clock_hz / 1e9,
+        ),
+        (
+            "Register file banks",
+            "rf_banks",
+            format!("{}", c.rf_banks),
+            c.rf_banks as f64,
+        ),
+        (
+            "NoC frequency",
+            "noc_ghz",
+            format!("{:.1} GHz", c.noc_clock_hz / 1e9),
+            c.noc_clock_hz / 1e9,
+        ),
+        (
+            "OC per SM",
+            "operand_collectors",
+            format!("{}", c.operand_collectors),
+            c.operand_collectors as f64,
+        ),
+        (
+            "Warp size",
+            "warp_size",
+            format!("{}", c.warp_size),
+            c.warp_size as f64,
+        ),
+        (
+            "Schedulers per SM",
+            "schedulers",
+            format!("{}", c.schedulers),
+            c.schedulers as f64,
+        ),
+        (
+            "SIMT exe width",
+            "simt_width",
+            format!("{}", c.simt_width),
+            c.simt_width as f64,
+        ),
+        (
+            "L1$ per SM",
+            "l1_kb",
+            format!("{} KB", c.l1_bytes / 1024),
+            (c.l1_bytes / 1024) as f64,
+        ),
+        (
+            "Threads per SM",
+            "threads_per_sm",
+            format!("{}", c.threads_per_sm),
+            c.threads_per_sm as f64,
+        ),
+        (
+            "Memory channels",
+            "mem_channels",
+            format!("{}", c.mem_channels),
+            c.mem_channels as f64,
+        ),
+        (
+            "CTAs per SM",
+            "ctas_per_sm",
+            format!("{}", c.ctas_per_sm),
+            c.ctas_per_sm as f64,
+        ),
+        (
+            "L2$ size",
+            "l2_kb",
+            format!("{} KB", c.l2_bytes / 1024),
+            (c.l2_bytes / 1024) as f64,
+        ),
+    ]
+}
+
+/// A single job ("config"): the configuration values as metrics. No
+/// simulation runs; the grid exists so Table 1 participates in sweeps,
+/// resume, and regression comparison like every other experiment.
+pub fn grid(_scale: Scale) -> Vec<JobSpec> {
+    vec![JobSpec::new(JobId::new(NAME, "config"), |_ctx| {
+        let c = GpuConfig::gtx480();
+        let mut out = JobOutput::default();
+        for (_, key, _, value) in rows(&c) {
+            out.metric(format!("config/{key}"), value);
+        }
+        Ok(out)
+    })]
+}
+
+/// Renders the configuration table; display text comes from the static
+/// config, values from the job metrics.
+pub fn render(r: &mut Report, rs: &ResultSet, _scale: Scale) {
+    let c = GpuConfig::gtx480();
+    r.config(&c);
+    r.title("Table 1: simulator configuration (GTX 480-like)");
+    for (label, key, text, _) in rows(&c) {
+        r.note(&format!("  {label:<20} {text}"));
+        r.metric(
+            &format!("config/{key}"),
+            rs.metric(NAME, "config", &format!("config/{key}")),
+        );
+    }
+}

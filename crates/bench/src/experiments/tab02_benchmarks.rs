@@ -1,0 +1,45 @@
+//! Table 2: the benchmark suite.
+
+use gscalar_sweep::{JobId, JobOutput, JobSpec, ResultSet};
+use gscalar_workloads::{suite, Scale};
+
+use crate::Report;
+
+/// Registry name.
+pub const NAME: &str = "tab02_benchmarks";
+
+/// A single job ("suite"): launch shapes and kernel sizes of every
+/// workload as metrics.
+pub fn grid(scale: Scale) -> Vec<JobSpec> {
+    vec![JobSpec::new(JobId::new(NAME, "suite"), move |_ctx| {
+        let mut out = JobOutput::default();
+        for w in suite(scale) {
+            out.metric(format!("{}/ctas", w.abbr), w.launch.grid.count() as f64);
+            out.metric(format!("{}/block", w.abbr), w.launch.block.count() as f64);
+            out.metric(format!("{}/instrs", w.abbr), w.kernel.len() as f64);
+        }
+        Ok(out)
+    })]
+}
+
+/// Renders the suite table; names come from the static suite, numbers
+/// from the job metrics.
+pub fn render(r: &mut Report, rs: &ResultSet, scale: Scale) {
+    r.title("Table 2: benchmarks (synthetic reproductions; see DESIGN.md)");
+    r.note(&format!(
+        "{:<12} {:<6} {:>8} {:>8} {:>8}",
+        "benchmark", "abbr", "ctas", "block", "instrs"
+    ));
+    for w in suite(scale) {
+        let ctas = rs.metric(NAME, "suite", &format!("{}/ctas", w.abbr));
+        let block = rs.metric(NAME, "suite", &format!("{}/block", w.abbr));
+        let instrs = rs.metric(NAME, "suite", &format!("{}/instrs", w.abbr));
+        r.note(&format!(
+            "{:<12} {:<6} {:>8} {:>8} {:>8}",
+            w.name, w.abbr, ctas, block, instrs
+        ));
+        r.metric(&format!("{}/ctas", w.abbr), ctas);
+        r.metric(&format!("{}/block", w.abbr), block);
+        r.metric(&format!("{}/instrs", w.abbr), instrs);
+    }
+}

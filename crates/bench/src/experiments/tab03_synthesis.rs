@@ -1,0 +1,79 @@
+//! Table 3: compressor/decompressor synthesis results and the chip-level
+//! overhead arithmetic of Section 5.1.
+
+use gscalar_power::synthesis::{
+    rf_area_overhead_fraction, sm_overhead, COMPRESSOR, COMPRESSORS_PER_SM, DECOMPRESSOR,
+    DECOMPRESSORS_PER_SM,
+};
+use gscalar_sweep::{JobId, JobOutput, JobSpec, ResultSet};
+use gscalar_workloads::Scale;
+
+use crate::Report;
+
+/// Registry name.
+pub const NAME: &str = "tab03_synthesis";
+
+/// A single job ("synthesis"): the synthesis constants and overhead
+/// arithmetic as metrics.
+pub fn grid(_scale: Scale) -> Vec<JobSpec> {
+    vec![JobSpec::new(JobId::new(NAME, "synthesis"), |_ctx| {
+        let mut out = JobOutput::default();
+        for (name, s) in [("decompressor", &DECOMPRESSOR), ("compressor", &COMPRESSOR)] {
+            out.metric(format!("{name}/area_um2"), s.area_um2);
+            out.metric(format!("{name}/delay_ns"), s.delay_ns);
+            out.metric(format!("{name}/power_mw"), s.power_mw);
+        }
+        let o = sm_overhead();
+        out.metric("sm_overhead/power_w", o.power_w);
+        out.metric("sm_overhead/area_mm2", o.area_mm2);
+        out.metric(
+            "rf_area_overhead/full_pct",
+            100.0 * rf_area_overhead_fraction(false),
+        );
+        out.metric(
+            "rf_area_overhead/half_pct",
+            100.0 * rf_area_overhead_fraction(true),
+        );
+        Ok(out)
+    })]
+}
+
+/// Renders the synthesis table from the static constants + job metrics.
+pub fn render(r: &mut Report, rs: &ResultSet, _scale: Scale) {
+    let m = |key: &str| rs.metric(NAME, "synthesis", key);
+    r.title("Table 3: encoder/decoder synthesis at 1.4 GHz (40 nm, incl. pipeline regs)");
+    r.note(&format!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "", "area (um^2)", "delay(ns)", "power(mW)"
+    ));
+    for name in ["decompressor", "compressor"] {
+        r.note(&format!(
+            "{:<14} {:>12.0} {:>10.2} {:>10.2}",
+            name,
+            m(&format!("{name}/area_um2")),
+            m(&format!("{name}/delay_ns")),
+            m(&format!("{name}/power_mw"))
+        ));
+        for key in ["area_um2", "delay_ns", "power_mw"] {
+            r.metric(&format!("{name}/{key}"), m(&format!("{name}/{key}")));
+        }
+    }
+    r.blank();
+    r.note(&format!(
+        "per SM: {} decompressors + {} compressors = {:.2} W, {:.3} mm^2",
+        DECOMPRESSORS_PER_SM,
+        COMPRESSORS_PER_SM,
+        m("sm_overhead/power_w"),
+        m("sm_overhead/area_mm2")
+    ));
+    r.metric("sm_overhead/power_w", m("sm_overhead/power_w"));
+    r.metric("sm_overhead/area_mm2", m("sm_overhead/area_mm2"));
+    let full = m("rf_area_overhead/full_pct");
+    let half = m("rf_area_overhead/half_pct");
+    r.note(&format!(
+        "RF area overhead: {full:.0}% (full-register), {half:.0}% (half-register)"
+    ));
+    r.metric("rf_area_overhead/full_pct", full);
+    r.metric("rf_area_overhead/half_pct", half);
+    r.note("paper: 0.32 W (1.6%) and 0.16 mm^2 (0.7%) per SM; RF +3%/+7%.");
+}

@@ -7,6 +7,7 @@
 //! aggregates those manifests into a dashboard and compares two sets as
 //! a regression gate.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -14,6 +15,8 @@ use gscalar_core::{Arch, RunReport, Runner, Workload};
 use gscalar_metrics::{fnv1a_hex, Manifest};
 use gscalar_sim::GpuConfig;
 use gscalar_workloads::{suite, Scale};
+
+pub mod experiments;
 
 /// Formats a row of right-aligned numeric cells after a left-aligned
 /// label.
@@ -88,18 +91,30 @@ pub fn parse_scale() -> Scale {
 /// assert_eq!(manifest.host.sim_cycles, 1000);
 /// std::fs::remove_file("/tmp/demo-doc.json").ok();
 /// ```
-#[derive(Debug)]
 pub struct Report {
     manifest: Manifest,
     json_path: Option<PathBuf>,
     start: Instant,
     sim_cycles: u64,
     columns: Vec<String>,
+    deterministic: bool,
+    out: Box<dyn Write>,
+}
+
+impl std::fmt::Debug for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Report")
+            .field("manifest", &self.manifest)
+            .field("json_path", &self.json_path)
+            .field("sim_cycles", &self.sim_cycles)
+            .field("deterministic", &self.deterministic)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Report {
-    /// Creates a report for `bench`, reading `--json [path]` from the
-    /// process arguments.
+    /// Creates a report for `bench`, reading `--json [path]` and
+    /// `--deterministic` from the process arguments.
     #[must_use]
     pub fn new(bench: &str) -> Self {
         Self::from_args(bench, std::env::args().skip(1))
@@ -113,6 +128,7 @@ impl Report {
         S: Into<String>,
     {
         let mut json_path = None;
+        let mut deterministic = false;
         let mut it = args.into_iter().map(Into::into).peekable();
         while let Some(a) = it.next() {
             if a == "--json" {
@@ -121,30 +137,61 @@ impl Report {
                     _ => PathBuf::from(format!("results/{bench}.json")),
                 };
                 json_path = Some(path);
+            } else if a == "--deterministic" {
+                deterministic = true;
             }
         }
+        let mut r = Self::to_writer(bench, json_path, Box::new(std::io::stdout()));
+        r.deterministic = deterministic;
+        r
+    }
+
+    /// Creates a report whose table text goes to `out` instead of
+    /// stdout and whose manifest (if `json_path` is set) is written at
+    /// [`Report::finish`]. This is how the `sweep` binary renders every
+    /// experiment into `<out>/<bench>.txt` + `<out>/<bench>.json`.
+    #[must_use]
+    pub fn to_writer(bench: &str, json_path: Option<PathBuf>, out: Box<dyn Write>) -> Self {
         Report {
             manifest: Manifest::new(bench),
             json_path,
             start: Instant::now(),
             sim_cycles: 0,
             columns: Vec::new(),
+            deterministic: false,
+            out,
         }
     }
 
+    /// Switches deterministic manifests on: [`Report::finish`] zeroes
+    /// the host wall-clock fields (keeping simulated cycles), so the
+    /// written JSON is byte-identical across machines, thread counts,
+    /// and runs. The sweep pipeline always renders deterministically;
+    /// the standalone binaries opt in via `--deterministic`.
+    pub fn set_deterministic(&mut self, on: bool) {
+        self.deterministic = on;
+    }
+
+    /// Whether deterministic output is on (renders consult this to
+    /// suppress wall-clock columns in their text output too).
+    #[must_use]
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
     /// Prints a title/heading line.
-    pub fn title(&self, text: &str) {
-        println!("{text}");
+    pub fn title(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{text}");
     }
 
     /// Prints a free-form note line (closing commentary, paper targets).
-    pub fn note(&self, text: &str) {
-        println!("{text}");
+    pub fn note(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{text}");
     }
 
     /// Prints a blank separator line.
-    pub fn blank(&self) {
-        println!();
+    pub fn blank(&mut self) {
+        let _ = writeln!(self.out);
     }
 
     /// Records the hardware configuration digest in the manifest.
@@ -157,7 +204,7 @@ impl Report {
     pub fn table(&mut self, cols: &[&str]) {
         self.columns = cols.iter().map(|c| (*c).to_string()).collect();
         let cells: Vec<String> = cols.iter().map(|c| (*c).to_string()).collect();
-        println!("{}", row("bench", &cells));
+        let _ = writeln!(self.out, "{}", row("bench", &cells));
     }
 
     /// Prints one table row (each value through `fmt`) and records every
@@ -171,7 +218,7 @@ impl Report {
             self.columns.len()
         );
         let cells: Vec<String> = vals.iter().map(|&v| fmt(v)).collect();
-        println!("{}", row(label, &cells));
+        let _ = writeln!(self.out, "{}", row(label, &cells));
         let cols = self.columns.clone();
         for (col, &v) in cols.iter().zip(vals) {
             self.metric(&format!("{label}/{col}"), v);
@@ -180,8 +227,8 @@ impl Report {
 
     /// Prints a row of pre-formatted cells without recording metrics
     /// (mixed-format rows record via [`Report::metric`] themselves).
-    pub fn row_text(&self, label: &str, cells: &[String]) {
-        println!("{}", row(label, cells));
+    pub fn row_text(&mut self, label: &str, cells: &[String]) {
+        let _ = writeln!(self.out, "{}", row(label, cells));
     }
 
     /// Records one metric in the manifest.
@@ -194,72 +241,10 @@ impl Report {
     /// stall breakdown, and per-component energy. Also accumulates the
     /// run's cycles into the host profile.
     pub fn record_run(&mut self, prefix: &str, r: &RunReport) {
-        let s = &r.stats;
-        self.add_cycles(s.cycles);
-        let m = &mut self.manifest;
-        m.set(format!("{prefix}/cycles"), s.cycles as f64);
-        m.set(format!("{prefix}/ipc"), s.ipc());
-        m.set(format!("{prefix}/warp_ipc"), s.warp_ipc());
-        m.set(
-            format!("{prefix}/divergent_fraction"),
-            s.divergent_fraction(),
-        );
-        m.set(format!("{prefix}/power_total_w"), r.power.total_w());
-        m.set(format!("{prefix}/ipc_per_watt"), r.ipc_per_watt());
-        let i = &s.instr;
-        m.set(format!("{prefix}/instr/warp"), i.warp_instrs as f64);
-        m.set(format!("{prefix}/instr/thread"), i.thread_instrs as f64);
-        m.set(format!("{prefix}/instr/alu"), i.alu_instrs as f64);
-        m.set(format!("{prefix}/instr/sfu"), i.sfu_instrs as f64);
-        m.set(format!("{prefix}/instr/mem"), i.mem_instrs as f64);
-        m.set(format!("{prefix}/instr/ctrl"), i.ctrl_instrs as f64);
-        m.set(
-            format!("{prefix}/instr/divergent"),
-            i.divergent_instrs as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/eligible_alu"),
-            i.eligible_alu as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/eligible_sfu"),
-            i.eligible_sfu as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/eligible_mem"),
-            i.eligible_mem as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/eligible_half"),
-            i.eligible_half as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/eligible_divergent"),
-            i.eligible_divergent as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/executed_scalar"),
-            i.executed_scalar as f64,
-        );
-        m.set(
-            format!("{prefix}/scalar/executed_half"),
-            i.executed_half as f64,
-        );
-        for (reason, count) in s.pipe.stalls.iter() {
-            m.set(format!("{prefix}/stall/{}", reason.label()), count as f64);
+        self.add_cycles(r.stats.cycles);
+        for (path, value) in run_metrics(prefix, r) {
+            self.manifest.set(path, value);
         }
-        // Energy by component: power × runtime (the linear accounting
-        // the telemetry invariant is built on).
-        for (name, w) in &r.power.components {
-            m.set(
-                format!("{prefix}/energy/{name}_pj"),
-                w * r.power.runtime_s * 1e12,
-            );
-        }
-        m.set(
-            format!("{prefix}/energy/static_pj"),
-            r.power.static_w * r.power.runtime_s * 1e12,
-        );
     }
 
     /// Accumulates simulated cycles into the host self-profile.
@@ -278,12 +263,12 @@ impl Report {
     pub fn finish(mut self) -> Option<Manifest> {
         let wall = self.start.elapsed().as_secs_f64();
         self.manifest.host = gscalar_metrics::HostProfile {
-            wall_time_s: wall,
+            wall_time_s: if self.deterministic { 0.0 } else { wall },
             sim_cycles: self.sim_cycles,
-            cycles_per_host_s: if wall > 0.0 {
-                self.sim_cycles as f64 / wall
-            } else {
+            cycles_per_host_s: if self.deterministic || wall <= 0.0 {
                 0.0
+            } else {
+                self.sim_cycles as f64 / wall
             },
         };
         if let Some(path) = &self.json_path {
@@ -301,18 +286,91 @@ impl Report {
     }
 }
 
+/// The exact metric set [`Report::record_run`] emits, as `(path,
+/// value)` pairs. Sweep jobs use this directly so a run recorded
+/// through a [`gscalar_sweep::JobOutput`] carries the same keys and
+/// values as one recorded through a `Report`.
+#[must_use]
+pub fn run_metrics(prefix: &str, r: &RunReport) -> Vec<(String, f64)> {
+    let s = &r.stats;
+    let i = &s.instr;
+    let mut out: Vec<(String, f64)> = vec![
+        (format!("{prefix}/cycles"), s.cycles as f64),
+        (format!("{prefix}/ipc"), s.ipc()),
+        (format!("{prefix}/warp_ipc"), s.warp_ipc()),
+        (
+            format!("{prefix}/divergent_fraction"),
+            s.divergent_fraction(),
+        ),
+        (format!("{prefix}/power_total_w"), r.power.total_w()),
+        (format!("{prefix}/ipc_per_watt"), r.ipc_per_watt()),
+        (format!("{prefix}/instr/warp"), i.warp_instrs as f64),
+        (format!("{prefix}/instr/thread"), i.thread_instrs as f64),
+        (format!("{prefix}/instr/alu"), i.alu_instrs as f64),
+        (format!("{prefix}/instr/sfu"), i.sfu_instrs as f64),
+        (format!("{prefix}/instr/mem"), i.mem_instrs as f64),
+        (format!("{prefix}/instr/ctrl"), i.ctrl_instrs as f64),
+        (
+            format!("{prefix}/instr/divergent"),
+            i.divergent_instrs as f64,
+        ),
+        (
+            format!("{prefix}/scalar/eligible_alu"),
+            i.eligible_alu as f64,
+        ),
+        (
+            format!("{prefix}/scalar/eligible_sfu"),
+            i.eligible_sfu as f64,
+        ),
+        (
+            format!("{prefix}/scalar/eligible_mem"),
+            i.eligible_mem as f64,
+        ),
+        (
+            format!("{prefix}/scalar/eligible_half"),
+            i.eligible_half as f64,
+        ),
+        (
+            format!("{prefix}/scalar/eligible_divergent"),
+            i.eligible_divergent as f64,
+        ),
+        (
+            format!("{prefix}/scalar/executed_scalar"),
+            i.executed_scalar as f64,
+        ),
+        (
+            format!("{prefix}/scalar/executed_half"),
+            i.executed_half as f64,
+        ),
+    ];
+    for (reason, count) in s.pipe.stalls.iter() {
+        out.push((format!("{prefix}/stall/{}", reason.label()), count as f64));
+    }
+    // Energy by component: power × runtime (the linear accounting
+    // the telemetry invariant is built on).
+    for (name, w) in &r.power.components {
+        out.push((
+            format!("{prefix}/energy/{name}_pj"),
+            w * r.power.runtime_s * 1e12,
+        ));
+    }
+    out.push((
+        format!("{prefix}/energy/static_pj"),
+        r.power.static_w * r.power.runtime_s * 1e12,
+    ));
+    out
+}
+
 /// Loads manifests from `path`: a single `.json` file or a directory
 /// (every `*.json` inside, sorted by file name).
 ///
 /// # Errors
 ///
-/// Returns a message when the path is unreadable or a file fails to
-/// parse.
+/// Returns a message when the path is unreadable or any file fails to
+/// load. Every bad file in a directory is reported — one line per
+/// file — rather than stopping at the first, so a single corrupt
+/// manifest in a results directory pinpoints itself immediately.
 pub fn load_manifests(path: &Path) -> Result<Vec<Manifest>, String> {
-    let read_one = |p: &Path| -> Result<Manifest, String> {
-        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
-        Manifest::from_json(&text).map_err(|e| format!("{}: {e}", p.display()))
-    };
     if path.is_dir() {
         let mut files: Vec<PathBuf> = std::fs::read_dir(path)
             .map_err(|e| format!("{}: {e}", path.display()))?
@@ -324,9 +382,21 @@ pub fn load_manifests(path: &Path) -> Result<Vec<Manifest>, String> {
         if files.is_empty() {
             return Err(format!("no *.json manifests in {}", path.display()));
         }
-        files.iter().map(|p| read_one(p)).collect()
+        let mut loaded = Vec::new();
+        let mut errors = Vec::new();
+        for p in &files {
+            match Manifest::load(p) {
+                Ok(m) => loaded.push(m),
+                Err(e) => errors.push(e),
+            }
+        }
+        if errors.is_empty() {
+            Ok(loaded)
+        } else {
+            Err(errors.join("\n"))
+        }
     } else {
-        Ok(vec![read_one(path)?])
+        Ok(vec![Manifest::load(path)?])
     }
 }
 
@@ -377,6 +447,38 @@ mod tests {
         assert_eq!(loaded[0].get("k"), Some(4.25));
         assert_eq!(loaded[0].host.sim_cycles, 123);
         assert_eq!(loaded[0].config_digest.len(), 16);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deterministic_finish_zeroes_host_wall_time() {
+        let mut r = Report::from_args("d", ["--deterministic"]);
+        r.add_cycles(500);
+        let m = r.finish().unwrap();
+        assert_eq!(m.host.wall_time_s, 0.0);
+        assert_eq!(m.host.cycles_per_host_s, 0.0);
+        assert_eq!(m.host.sim_cycles, 500);
+    }
+
+    #[test]
+    fn load_manifests_reports_every_bad_file() {
+        let dir = std::env::temp_dir().join("gscalar-bench-badload");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut good = Report::from_args(
+            "ok",
+            [
+                "--json".to_string(),
+                dir.join("ok.json").display().to_string(),
+            ],
+        );
+        good.metric("k", 1.0);
+        good.finish();
+        std::fs::write(dir.join("bad1.json"), "{\"schema\":").unwrap();
+        std::fs::write(dir.join("bad2.json"), "not json").unwrap();
+        let err = load_manifests(&dir).unwrap_err();
+        assert!(err.contains("bad1.json"), "got: {err}");
+        assert!(err.contains("bad2.json"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

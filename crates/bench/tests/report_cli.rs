@@ -107,6 +107,43 @@ fn aggregate_covers_every_manifest() {
 }
 
 #[test]
+fn compare_names_truncated_manifest_and_exits_nonzero() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-truncated");
+    let base = root.join("base");
+    let cur = root.join("cur");
+    write_set(&base, 1000.0);
+    std::fs::create_dir_all(&cur).unwrap();
+    // A manifest cut off mid-write (e.g. a killed run without atomic
+    // writes) plus a second, differently-corrupt one: the error must
+    // name each offending file, not just the first.
+    let full = manifest("probe", 1000.0);
+    std::fs::write(cur.join("probe.json"), &full[..full.len() / 2]).unwrap();
+    std::fs::write(cur.join("extra.json"), "definitely not json").unwrap();
+    let out = report(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "corrupt manifests must fail the gate"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("probe.json"), "stderr: {err}");
+    assert!(err.contains("extra.json"), "stderr: {err}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn compare_names_missing_manifest_path() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-missing");
+    let base = root.join("base");
+    write_set(&base, 1000.0);
+    let gone = root.join("no-such-dir");
+    let out = report(&["compare", base.to_str().unwrap(), gone.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no-such-dir"), "stderr: {err}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn unknown_subcommand_exits_with_usage() {
     let out = report(&["frobnicate"]);
     assert!(!out.status.success());

@@ -1,0 +1,197 @@
+//! End-to-end properties of the sweep subsystem, driven through the
+//! `sweep` binary and the standalone experiment binaries:
+//!
+//! * **Determinism** — the manifests a sweep writes are byte-identical
+//!   whether the grid ran on 1 thread or 4, and identical to what the
+//!   standalone binary produces serially with `--deterministic`.
+//! * **Resume** — rerunning over the same results directory executes
+//!   nothing and still renders identical output; corrupting one job
+//!   manifest re-executes exactly that job.
+//! * **Fault isolation** — a panicking job is contained, recorded as a
+//!   machine-readable failure, and replaced by a success on rerun
+//!   (library-level, with an injected faulty grid).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn sweep(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(args)
+        .output()
+        .expect("sweep binary runs")
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sweep_manifests_are_thread_count_invariant_and_match_serial() {
+    let root = fresh_dir("gscalar-sweep-cli-det");
+    let one = root.join("t1");
+    let four = root.join("t4");
+    for (out, threads) in [(&one, "1"), (&four, "4")] {
+        let o = sweep(&[
+            "probe",
+            "fig11_power_efficiency",
+            "--scale",
+            "test",
+            "--threads",
+            threads,
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(
+            o.status.success(),
+            "sweep failed: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
+    }
+    for name in ["probe", "fig11_power_efficiency"] {
+        assert_eq!(
+            read(&one.join(format!("{name}.json"))),
+            read(&four.join(format!("{name}.json"))),
+            "{name}.json differs between 1 and 4 threads"
+        );
+        assert_eq!(
+            read(&one.join(format!("{name}.txt"))),
+            read(&four.join(format!("{name}.txt"))),
+            "{name}.txt differs between 1 and 4 threads"
+        );
+    }
+    assert_eq!(
+        read(&one.join("BENCH_sweep.json")),
+        read(&four.join("BENCH_sweep.json"))
+    );
+
+    // The standalone binary, run serially with --deterministic,
+    // produces the same bytes as the sweep pipeline.
+    let serial = root.join("serial_fig11.json");
+    let o = Command::new(env!("CARGO_BIN_EXE_fig11_power_efficiency"))
+        .args([
+            "--scale",
+            "test",
+            "--deterministic",
+            "--json",
+            serial.to_str().unwrap(),
+        ])
+        .output()
+        .expect("fig11 binary runs");
+    assert!(o.status.success());
+    assert_eq!(
+        read(&serial),
+        read(&one.join("fig11_power_efficiency.json")),
+        "standalone --deterministic output differs from sweep output"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sweep_resumes_completed_jobs_and_reexecutes_corrupted_ones() {
+    let root = fresh_dir("gscalar-sweep-cli-resume");
+    let out = root.join("results");
+    let args = [
+        "probe",
+        "--scale",
+        "test",
+        "--threads",
+        "2",
+        "--out",
+        out.to_str().unwrap(),
+    ];
+    assert!(sweep(&args).status.success());
+    let first = read(&out.join("probe.json"));
+
+    // Second run: everything resumes, nothing executes.
+    let o = sweep(&args);
+    assert!(o.status.success());
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(
+        err.contains("0 executed"),
+        "rerun must execute nothing: {err}"
+    );
+    assert_eq!(first, read(&out.join("probe.json")));
+
+    // Corrupt one job manifest: exactly that job re-executes and the
+    // rendered output is unchanged.
+    let jobs: Vec<PathBuf> = std::fs::read_dir(out.join("jobs/probe"))
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    assert!(!jobs.is_empty());
+    std::fs::write(&jobs[0], "{trunc").unwrap();
+    let o = sweep(&args);
+    assert!(o.status.success());
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(err.contains("1 executed"), "one corrupt job re-runs: {err}");
+    assert_eq!(first, read(&out.join("probe.json")));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn panicking_job_is_recorded_and_replaced_on_rerun() {
+    use gscalar_sweep::{run_sweep, FailureRecord, JobId, JobOutput, JobSpec, SweepConfig};
+
+    let root = fresh_dir("gscalar-sweep-cli-fault");
+    let attempts = Arc::new(AtomicU32::new(0));
+    let grid = |fail: bool, attempts: Arc<AtomicU32>| {
+        vec![
+            JobSpec::new(JobId::new("exp", "good"), |_| {
+                let mut out = JobOutput::default();
+                out.metric("v", 1.0);
+                Ok(out)
+            }),
+            JobSpec::new(JobId::new("exp", "flaky"), move |_| {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                assert!(!fail, "injected fault");
+                let mut out = JobOutput::default();
+                out.metric("v", 2.0);
+                Ok(out)
+            }),
+        ]
+    };
+    let cfg = SweepConfig {
+        threads: 2,
+        out_dir: Some(root.clone()),
+        max_retries: 1,
+        ..SweepConfig::default()
+    };
+
+    // First run: the flaky job panics (original + 1 retry), the sweep
+    // still completes and persists both the good result and a failure
+    // record.
+    let outcome = run_sweep(&grid(true, attempts.clone()), &cfg);
+    assert!(!outcome.all_completed());
+    assert_eq!(outcome.failures.len(), 1);
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "one retry happened");
+    assert!(root.join("jobs/exp/good.json").exists());
+    let failure_path = root.join("jobs/exp/flaky.failure.json");
+    let rec = FailureRecord::from_json(&read(&failure_path)).unwrap();
+    assert_eq!(rec.kind, "panic");
+    assert!(
+        rec.message.contains("injected fault"),
+        "got: {}",
+        rec.message
+    );
+
+    // Rerun with the fault fixed: the good job resumes from disk, the
+    // flaky one re-executes, and its failure record is replaced.
+    let outcome = run_sweep(&grid(false, attempts.clone()), &cfg);
+    assert!(outcome.all_completed());
+    assert_eq!(outcome.resumed, 1);
+    assert_eq!(outcome.executed, 1);
+    assert!(!failure_path.exists(), "failure record cleared on success");
+    assert_eq!(outcome.results.metric("exp", "flaky", "v"), 2.0);
+    std::fs::remove_dir_all(&root).ok();
+}

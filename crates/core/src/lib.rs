@@ -41,4 +41,6 @@ pub mod rng;
 pub mod runner;
 
 pub use arch::Arch;
-pub use runner::{MeteredRun, ProfiledRun, RunReport, Runner, Workload};
+pub use runner::{
+    run_stats_budgeted, BudgetExceeded, MeteredRun, ProfiledRun, RunReport, Runner, Workload,
+};

@@ -1,5 +1,7 @@
 //! Workload container and the high-level simulation runner.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
 use gscalar_isa::{Kernel, LaunchConfig};
 use gscalar_metrics::MetricsRegistry;
 use gscalar_power::{chip_power, EnergyModel, PowerReport, PowerTimeline, RfScheme};
@@ -90,6 +92,105 @@ pub struct ProfiledRun {
     pub profile: KernelProfile,
     /// Aggregate counters plus the schema-versioned per-PC tables.
     pub registry: MetricsRegistry,
+}
+
+/// A simulation was aborted because it crossed its simulated-cycle
+/// budget (see [`Runner::run_budgeted`]).
+///
+/// The abort is *deterministic*: it triggers on simulated cycles, not
+/// wall time, so a budgeted run fails identically on every machine and
+/// thread count — the property the sweep engine's byte-identical
+/// manifests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Simulated cycles when the budget tripped (the first observer
+    /// sample at or past the budget).
+    pub cycles: u64,
+    /// The budget that applied.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle budget exceeded: {} simulated of {} allowed",
+            self.cycles, self.budget
+        )
+    }
+}
+
+/// Granularity of budget checks: the abort observer samples every this
+/// many cycles (or at the budget itself, whichever is finer).
+const BUDGET_CHECK_INTERVAL: u64 = 4096;
+
+/// Panic payload used to unwind out of a budget-crossed simulation.
+/// Thrown with [`resume_unwind`] so the global panic hook never fires
+/// (a budget abort is an expected outcome, not a bug to report).
+struct BudgetAbort {
+    cycles: u64,
+}
+
+/// Observer that aborts the run at the first sample past the budget.
+struct BudgetObserver {
+    budget: u64,
+}
+
+impl RunObserver for BudgetObserver {
+    fn sample(&mut self, cycle: u64, _stats: &Stats) {
+        if cycle >= self.budget {
+            resume_unwind(Box::new(BudgetAbort { cycles: cycle }));
+        }
+    }
+
+    fn finish(&mut self, _cycle: u64, _merged: &Stats, _per_sm: &[Stats]) {}
+}
+
+/// Runs `workload` functionally+temporally under an explicit
+/// architecture configuration, aborting deterministically once the
+/// simulation crosses `budget` cycles (`budget == 0` disables the
+/// check). This is the raw entry point for ablations that build their
+/// own [`ArchConfig`]; see [`Runner::run_budgeted`] for the
+/// arch-variant path.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when the simulation crossed the budget;
+/// any other panic propagates unchanged.
+pub fn run_stats_budgeted(
+    cfg: &GpuConfig,
+    arch_cfg: gscalar_sim::ArchConfig,
+    workload: &Workload,
+    budget: u64,
+) -> Result<Stats, BudgetExceeded> {
+    let mut gpu = Gpu::new(cfg.clone(), arch_cfg);
+    let mut mem = workload.memory.clone();
+    if budget == 0 {
+        return Ok(gpu.run(&workload.kernel, workload.launch, &mut mem));
+    }
+    let interval = budget.clamp(1, BUDGET_CHECK_INTERVAL);
+    let mut observer = BudgetObserver { budget };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        gpu.run_observed(
+            &workload.kernel,
+            workload.launch,
+            &mut mem,
+            &mut Tracer::off(),
+            0,
+            interval,
+            &mut observer,
+        )
+    }));
+    match attempt {
+        Ok(stats) => Ok(stats),
+        Err(payload) => match payload.downcast::<BudgetAbort>() {
+            Ok(abort) => Err(BudgetExceeded {
+                cycles: abort.cycles,
+                budget,
+            }),
+            Err(other) => resume_unwind(other),
+        },
+    }
 }
 
 /// Forwards observer callbacks to two observers watching the same run.
@@ -317,6 +418,32 @@ impl Runner {
         }
     }
 
+    /// [`Runner::run`] under a simulated-cycle budget: the run aborts
+    /// deterministically at the first budget check past `budget`
+    /// cycles (`budget == 0` disables the check). Statistics and power
+    /// of a within-budget run are identical to [`Runner::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when the simulation crossed the
+    /// budget.
+    pub fn run_budgeted(
+        &self,
+        workload: &Workload,
+        arch: Arch,
+        budget: u64,
+    ) -> Result<RunReport, BudgetExceeded> {
+        let stats = run_stats_budgeted(&self.cfg, arch.config(), workload, budget)?;
+        let power = chip_power(
+            &stats,
+            &self.cfg,
+            arch.rf_scheme(),
+            arch.has_codec(),
+            &self.energy,
+        );
+        Ok(RunReport { arch, stats, power })
+    }
+
     /// Runs `workload` on every Figure 11 architecture.
     #[must_use]
     pub fn run_all(&self, workload: &Workload) -> Vec<RunReport> {
@@ -478,6 +605,55 @@ mod tests {
         let pcs: Vec<usize> = prof.executed_pcs().collect();
         assert!(!pcs.is_empty());
         assert!(pcs.iter().all(|&pc| pc < w.kernel.len()));
+    }
+
+    #[test]
+    fn run_budgeted_within_budget_matches_plain_run() {
+        let runner = Runner::new(GpuConfig::test_small());
+        let w = mixed_workload();
+        let plain = runner.run(&w, Arch::GScalar);
+        let budgeted = runner
+            .run_budgeted(&w, Arch::GScalar, plain.stats.cycles + 1)
+            .expect("within budget");
+        assert_eq!(budgeted.stats, plain.stats);
+        assert_eq!(budgeted.power, plain.power);
+        // Budget 0 disables the check entirely.
+        let unlimited = runner
+            .run_budgeted(&w, Arch::GScalar, 0)
+            .expect("unlimited");
+        assert_eq!(unlimited.stats, plain.stats);
+    }
+
+    #[test]
+    fn run_budgeted_aborts_deterministically() {
+        let runner = Runner::new(GpuConfig::test_small());
+        let w = mixed_workload();
+        let full = runner.run(&w, Arch::GScalar).stats.cycles;
+        assert!(full > 2, "workload too small to truncate");
+        let err = runner
+            .run_budgeted(&w, Arch::GScalar, 2)
+            .expect_err("must trip");
+        assert_eq!(err.budget, 2);
+        assert!(err.cycles >= 2 && err.cycles < full);
+        // Deterministic: the abort point is cycle-based, not
+        // wall-clock-based, so it reproduces exactly.
+        let again = runner
+            .run_budgeted(&w, Arch::GScalar, 2)
+            .expect_err("must trip again");
+        assert_eq!(again, err);
+        assert!(err.to_string().contains("cycle budget exceeded"));
+    }
+
+    #[test]
+    fn run_stats_budgeted_accepts_custom_arch_configs() {
+        let w = mixed_workload();
+        let cfg = GpuConfig::test_small();
+        let mut arch = Arch::GScalar.config();
+        arch.extra_latency = 3;
+        let stats = run_stats_budgeted(&cfg, arch.clone(), &w, 0).expect("unlimited");
+        assert!(stats.cycles > 0);
+        let err = run_stats_budgeted(&cfg, arch, &w, 2).expect_err("must trip");
+        assert_eq!(err.budget, 2);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod compare;
 pub mod json;
 pub mod manifest;
 
-pub use compare::{aggregate_markdown, compare, CompareConfig, CompareReport, Delta};
+pub use compare::{
+    aggregate_markdown, compare, merge_manifests, CompareConfig, CompareReport, Delta,
+};
 pub use manifest::{HostProfile, Manifest};
 
 use std::collections::BTreeMap;

@@ -174,6 +174,20 @@ impl Manifest {
             metrics,
         })
     }
+
+    /// Loads a manifest from a JSON file. Every failure — unreadable
+    /// file, truncated/malformed JSON, wrong schema — comes back as a
+    /// single message prefixed with the offending path, so callers
+    /// aggregating a directory can report exactly which file is bad
+    /// instead of dying mid-aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"<path>: <reason>"` on any read or parse failure.
+    pub fn load(path: &std::path::Path) -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Manifest::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +223,28 @@ mod tests {
         assert_eq!(m.get("inf"), Some(0.0));
         // And the document still parses.
         assert!(Manifest::from_json(&m.to_json()).is_ok());
+    }
+
+    #[test]
+    fn load_names_the_offending_file() {
+        let dir = std::env::temp_dir().join("gscalar-manifest-load");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Truncated manifest: cut a valid document in half.
+        let full = sample().to_json();
+        let truncated = &full[..full.len() / 2];
+        let bad = dir.join("truncated.json");
+        std::fs::write(&bad, truncated).unwrap();
+        let err = Manifest::load(&bad).expect_err("truncated JSON must fail");
+        assert!(err.contains("truncated.json"), "got: {err}");
+        // A missing file also names the path.
+        let gone = dir.join("missing.json");
+        let err = Manifest::load(&gone).expect_err("missing file must fail");
+        assert!(err.contains("missing.json"), "got: {err}");
+        // And a good file loads.
+        let good = dir.join("good.json");
+        std::fs::write(&good, &full).unwrap();
+        assert_eq!(Manifest::load(&good).unwrap(), sample());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! The sweep engine: resume scan, fault-isolated parallel execution,
+//! and deterministic persistence.
+//!
+//! Execution model, per job:
+//!
+//! 1. **Resume** — when an output directory is configured, a job whose
+//!    completed manifest (`jobs/<exp>/<unit>.json`) parses and names
+//!    the job is *skipped* and its result reloaded. A failure record
+//!    (`jobs/<exp>/<unit>.failure.json`) does **not** count as
+//!    completed: the job re-runs, and the record is replaced by a
+//!    manifest on success. A corrupt manifest is treated as absent.
+//! 2. **Isolation** — the job closure runs under `catch_unwind`; a
+//!    panic is contained, recorded, and cannot poison the sweep.
+//! 3. **Bounded retry** — panics and job-reported errors are retried
+//!    up to `max_retries` extra attempts; cycle-budget overruns are
+//!    deterministic and never retried.
+//! 4. **Persistence** — completed jobs are written as byte-
+//!    deterministic schema-v1 manifests (temp file + rename, so a
+//!    killed sweep never leaves a truncated "completed" file); failed
+//!    jobs get a machine-readable [`FailureRecord`].
+//!
+//! All file writes and progress output happen on the calling thread;
+//! workers only simulate.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::job::{FailureRecord, JobCtx, JobError, JobOutput, JobResult, JobSpec, ResultSet};
+use crate::pool::run_indexed;
+use gscalar_metrics::Manifest;
+
+/// Progress reporting mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Progress {
+    /// No output.
+    #[default]
+    Quiet,
+    /// One line per completed job on stderr, with a running ETA.
+    PerJob,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Results directory; `None` disables persistence and resume.
+    /// Per-job artifacts live under `<out_dir>/jobs/`.
+    pub out_dir: Option<PathBuf>,
+    /// Extra attempts after a retryable failure (panic or job error).
+    pub max_retries: u32,
+    /// Progress reporting.
+    pub progress: Progress,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: 1,
+            out_dir: None,
+            max_retries: 1,
+            progress: Progress::Quiet,
+        }
+    }
+}
+
+/// What a sweep produced.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Every completed job (executed now or resumed), in registration
+    /// order.
+    pub results: ResultSet,
+    /// Every job that exhausted its attempts, in registration order.
+    pub failures: Vec<FailureRecord>,
+    /// Jobs executed in this run.
+    pub executed: usize,
+    /// Jobs skipped because a completed manifest was found.
+    pub resumed: usize,
+    /// Wall seconds for the whole sweep.
+    pub wall_s: f64,
+}
+
+impl SweepOutcome {
+    /// Whether every job completed.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Experiments with at least one failed job, deduplicated, in
+    /// first-failure order.
+    #[must_use]
+    pub fn failed_experiments(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for f in &self.failures {
+            let exp = f.job.split('/').next().unwrap_or(&f.job).to_string();
+            if !out.contains(&exp) {
+                out.push(exp);
+            }
+        }
+        out
+    }
+}
+
+/// Paths of one job's on-disk artifacts.
+fn job_paths(out_dir: &Path, spec: &JobSpec) -> (PathBuf, PathBuf) {
+    let dir = out_dir.join("jobs").join(&spec.id.experiment);
+    (
+        dir.join(format!("{}.json", spec.id.unit)),
+        dir.join(format!("{}.failure.json", spec.id.unit)),
+    )
+}
+
+/// Writes `text` to `path` atomically (temp file + rename).
+fn write_atomic(path: &Path, text: &str) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text).unwrap_or_else(|e| panic!("writing {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("renaming {} -> {}: {e}", tmp.display(), path.display()));
+}
+
+/// Runs one job with panic containment and bounded retry, returning
+/// the attempt count alongside the outcome.
+fn run_one(spec: &JobSpec, max_retries: u32) -> (u32, Result<JobOutput, JobError>) {
+    let ctx = JobCtx {
+        cycle_budget: spec.cycle_budget,
+    };
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| (spec.run)(&ctx)));
+        let err = match outcome {
+            Ok(Ok(out)) => return (attempts, Ok(out)),
+            Ok(Err(e)) => e,
+            Err(payload) => JobError::Panic(panic_message(payload.as_ref())),
+        };
+        if !err.retryable() || attempts > max_retries {
+            return (attempts, Err(err));
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Executes a job grid: resumes completed jobs from `cfg.out_dir`,
+/// shards the rest across the work-stealing pool, and persists every
+/// outcome. See the module docs for the exact semantics.
+///
+/// The returned [`ResultSet`] is ordered by job registration order, so
+/// any merge over it is independent of thread count and schedule.
+#[must_use]
+pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
+    let t0 = Instant::now();
+    let mut outcome = SweepOutcome::default();
+
+    // Results keyed by registration index; the ResultSet is built from
+    // these slots *after* the run, so completion order never leaks
+    // into merge order.
+    let mut slots: Vec<Option<JobResult>> = specs.iter().map(|_| None).collect();
+
+    // Resume scan: reload completed manifests, queue the rest.
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let prior = cfg.out_dir.as_deref().and_then(|dir| {
+            let (done_path, _) = job_paths(dir, spec);
+            let text = std::fs::read_to_string(done_path).ok()?;
+            let manifest = Manifest::from_json(&text).ok()?;
+            JobResult::from_manifest(&spec.id, &manifest).ok()
+        });
+        match prior {
+            Some(r) => {
+                outcome.resumed += 1;
+                slots[i] = Some(r);
+            }
+            None => pending.push(i),
+        }
+    }
+
+    // Parallel execution; results land on this thread.
+    let total = pending.len();
+    let mut done = 0usize;
+    let mut failures_by_index: Vec<(usize, FailureRecord)> = Vec::new();
+    run_indexed(
+        cfg.threads,
+        total,
+        |k| {
+            let spec = &specs[pending[k]];
+            let t = Instant::now();
+            let (attempts, result) = run_one(spec, cfg.max_retries);
+            (attempts, result, t.elapsed().as_secs_f64())
+        },
+        |k, (attempts, result, wall_s)| {
+            let spec = &specs[pending[k]];
+            done += 1;
+            outcome.executed += 1;
+            match result {
+                Ok(out) => {
+                    let r = JobResult::from_output(spec.id.clone(), out, wall_s);
+                    if let Some(dir) = cfg.out_dir.as_deref() {
+                        let (done_path, fail_path) = job_paths(dir, spec);
+                        write_atomic(&done_path, &r.to_manifest().to_json());
+                        // A success supersedes any failure record left
+                        // by a previous run.
+                        std::fs::remove_file(fail_path).ok();
+                    }
+                    progress_line(
+                        cfg.progress,
+                        done,
+                        total,
+                        t0,
+                        &spec.id.to_string(),
+                        "ok",
+                        wall_s,
+                    );
+                    slots[pending[k]] = Some(r);
+                }
+                Err(e) => {
+                    let record = FailureRecord {
+                        job: spec.id.to_string(),
+                        kind: e.kind().to_string(),
+                        attempts,
+                        message: e.message(),
+                        cycle_budget: spec.cycle_budget,
+                    };
+                    if let Some(dir) = cfg.out_dir.as_deref() {
+                        let (_, fail_path) = job_paths(dir, spec);
+                        write_atomic(&fail_path, &record.to_json());
+                    }
+                    progress_line(
+                        cfg.progress,
+                        done,
+                        total,
+                        t0,
+                        &spec.id.to_string(),
+                        e.kind(),
+                        wall_s,
+                    );
+                    failures_by_index.push((pending[k], record));
+                }
+            }
+        },
+    );
+    // Results and failures in registration order, not completion
+    // order — this is what makes merged output schedule-independent.
+    for r in slots.into_iter().flatten() {
+        outcome.results.insert(r);
+    }
+    failures_by_index.sort_by_key(|(i, _)| *i);
+    outcome.failures = failures_by_index.into_iter().map(|(_, f)| f).collect();
+    outcome.wall_s = t0.elapsed().as_secs_f64();
+    outcome
+}
+
+/// Prints one per-job progress line with a running ETA.
+fn progress_line(
+    mode: Progress,
+    done: usize,
+    total: usize,
+    t0: Instant,
+    id: &str,
+    status: &str,
+    wall_s: f64,
+) {
+    if mode != Progress::PerJob {
+        return;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let eta = if done > 0 {
+        elapsed / done as f64 * (total - done) as f64
+    } else {
+        0.0
+    };
+    let flag = if status == "ok" { "" } else { " FAILED" };
+    eprintln!(
+        "[{done:>4}/{total}] {status:<6} {id:<48} {wall_s:>7.2}s  elapsed {elapsed:>6.1}s  eta {eta:>6.1}s{flag}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn ok_job(exp: &str, unit: &str, value: f64) -> JobSpec {
+        let unit_owned = unit.to_string();
+        JobSpec::new(JobId::new(exp, unit), move |_ctx| {
+            let mut out = JobOutput::default();
+            out.metric(format!("{unit_owned}/v"), value);
+            out.sim_cycles = value as u64;
+            Ok(out)
+        })
+    }
+
+    #[test]
+    fn runs_grid_and_orders_results() {
+        let specs = vec![
+            ok_job("e", "z-last", 1.0),
+            ok_job("e", "a-first", 2.0),
+            ok_job("e", "m-mid", 3.0),
+        ];
+        let out = run_sweep(&specs, &SweepConfig::default());
+        assert!(out.all_completed());
+        assert_eq!(out.executed, 3);
+        let units: Vec<&str> = out.results.iter().map(|r| r.id.unit.as_str()).collect();
+        assert_eq!(units, ["z-last", "a-first", "m-mid"]);
+        assert_eq!(out.results.metric("e", "m-mid", "m-mid/v"), 3.0);
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = tries.clone();
+        let specs = vec![
+            JobSpec::new(JobId::new("e", "boom"), move |_| {
+                t.fetch_add(1, Ordering::SeqCst);
+                panic!("injected fault");
+            }),
+            ok_job("e", "fine", 1.0),
+        ];
+        let cfg = SweepConfig {
+            max_retries: 2,
+            ..SweepConfig::default()
+        };
+        let out = run_sweep(&specs, &cfg);
+        assert_eq!(tries.load(Ordering::SeqCst), 3, "1 try + 2 retries");
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].kind, "panic");
+        assert_eq!(out.failures[0].attempts, 3);
+        assert!(out.failures[0].message.contains("injected fault"));
+        assert_eq!(out.failed_experiments(), ["e"]);
+        // The healthy job still completed.
+        assert!(out.results.get("e", "fine").is_some());
+    }
+
+    #[test]
+    fn budget_overruns_never_retry() {
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = tries.clone();
+        let specs = vec![JobSpec::new(JobId::new("e", "slow"), move |ctx| {
+            t.fetch_add(1, Ordering::SeqCst);
+            Err(JobError::Budget {
+                cycles: ctx.cycle_budget + 1,
+                budget: ctx.cycle_budget,
+            })
+        })
+        .with_budget(100)];
+        let cfg = SweepConfig {
+            max_retries: 5,
+            ..SweepConfig::default()
+        };
+        let out = run_sweep(&specs, &cfg);
+        assert_eq!(tries.load(Ordering::SeqCst), 1);
+        assert_eq!(out.failures[0].kind, "budget");
+        assert_eq!(out.failures[0].cycle_budget, 100);
+        assert!(out.failures[0].message.contains("101"));
+    }
+
+    #[test]
+    fn persists_and_resumes() {
+        let dir = std::env::temp_dir().join("gscalar-sweep-engine-resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let runs = Arc::new(AtomicU32::new(0));
+        let mk = |runs: Arc<AtomicU32>| {
+            vec![JobSpec::new(JobId::new("e", "j"), move |_| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                let mut out = JobOutput::default();
+                out.metric("x", 7.0);
+                out.sim_cycles = 42;
+                Ok(out)
+            })]
+        };
+        let cfg = SweepConfig {
+            out_dir: Some(dir.clone()),
+            ..SweepConfig::default()
+        };
+        let first = run_sweep(&mk(runs.clone()), &cfg);
+        assert_eq!((first.executed, first.resumed), (1, 0));
+        assert!(dir.join("jobs/e/j.json").is_file());
+        let second = run_sweep(&mk(runs.clone()), &cfg);
+        assert_eq!((second.executed, second.resumed), (0, 1));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "resume must not re-run");
+        let r = second.results.get("e", "j").unwrap();
+        assert!(r.resumed);
+        assert_eq!(r.sim_cycles, 42);
+        assert_eq!(r.metrics["x"], 7.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_completed_manifest_reruns() {
+        let dir = std::env::temp_dir().join("gscalar-sweep-engine-corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("jobs/e")).unwrap();
+        std::fs::write(dir.join("jobs/e/j.json"), "{\"schema\":1,").unwrap();
+        let cfg = SweepConfig {
+            out_dir: Some(dir.clone()),
+            ..SweepConfig::default()
+        };
+        let out = run_sweep(&[ok_job("e", "j", 5.0)], &cfg);
+        assert_eq!((out.executed, out.resumed), (1, 0));
+        // And the rerun repaired the file.
+        let text = std::fs::read_to_string(dir.join("jobs/e/j.json")).unwrap();
+        assert!(Manifest::from_json(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,6 +11,7 @@
 //! * [`workloads`] — 17 synthetic Parboil/Rodinia-like benchmarks.
 //! * [`trace`] — cycle-level trace events, sinks, and exporters.
 //! * [`metrics`] — metrics registry, run manifests, regression compare.
+//! * [`sweep`] — parallel, fault-isolated experiment-execution engine.
 
 pub use gscalar_compress as compress;
 pub use gscalar_core as core;
@@ -18,5 +19,6 @@ pub use gscalar_isa as isa;
 pub use gscalar_metrics as metrics;
 pub use gscalar_power as power;
 pub use gscalar_sim as sim;
+pub use gscalar_sweep as sweep;
 pub use gscalar_trace as trace;
 pub use gscalar_workloads as workloads;
