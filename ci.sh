@@ -26,6 +26,16 @@ trap 'rm -rf "$tmp"' EXIT
 ./target/release/probe --scale test --threads 2 --json "$tmp/probe.json" > /dev/null
 ./target/release/report compare ci/baseline "$tmp"
 
+echo "== parallel execution engine (byte-identical manifests)"
+# The in-process parallel engine must produce byte-identical reports at
+# any --sim-threads setting (same stats, same digests, same manifest).
+./target/release/probe --scale test --deterministic \
+    --json "$tmp/engine-serial.json" > /dev/null
+./target/release/probe --scale test --deterministic --sim-threads 4 \
+    --json "$tmp/engine-par.json" > /dev/null
+cmp "$tmp/engine-serial.json" "$tmp/engine-par.json"
+rm "$tmp/engine-serial.json" "$tmp/engine-par.json"
+
 echo "== sweep smoke (parallel run, resume, deterministic manifests)"
 ./target/release/sweep probe --scale test --threads 2 --out "$tmp/sweep" 2> /dev/null
 # Deterministic manifests: the parallel sweep writes the same bytes a

@@ -32,6 +32,7 @@ struct Options {
     names: Vec<String>,
     scale: Scale,
     threads: usize,
+    sim_threads: usize,
     budget: u64,
     retries: u32,
     out: Option<PathBuf>,
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
         names: Vec::new(),
         scale: Scale::Full,
         threads: 1,
+        sim_threads: 1,
         budget: 0,
         retries: 1,
         out: None,
@@ -66,6 +68,11 @@ fn parse_args() -> Result<Options, String> {
                 o.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--sim-threads" => {
+                o.sim_threads = value("--sim-threads")?
+                    .parse()
+                    .map_err(|e| format!("--sim-threads: {e}"))?;
             }
             "--budget" => {
                 o.budget = value("--budget")?
@@ -121,6 +128,10 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
     let exps = select(&o)?;
+
+    // Simulator-level parallelism (within one job) on top of job-level
+    // parallelism; byte-identical results make the combination safe.
+    gscalar_sim::config::set_default_exec_threads(o.sim_threads);
 
     // Build the whole job grid in registry order; job IDs are
     // deterministic, so the merged output never depends on scheduling.

@@ -225,6 +225,10 @@ pub struct CliOptions {
     pub threads: usize,
     /// Per-job simulated-cycle budget (`--budget N`, default unlimited).
     pub budget: u64,
+    /// Simulator executor threads per simulation (`--sim-threads N`,
+    /// default 1 = serial; 0 = all cores). Results are byte-identical
+    /// at any setting; see `gscalar_sim::parallel`.
+    pub sim_threads: usize,
 }
 
 impl CliOptions {
@@ -240,6 +244,7 @@ impl CliOptions {
             scale: Scale::Full,
             threads: 1,
             budget: 0,
+            sim_threads: 1,
         };
         let mut it = args.into_iter().map(Into::into);
         while let Some(a) = it.next() {
@@ -259,6 +264,11 @@ impl CliOptions {
                         o.budget = n;
                     }
                 }
+                "--sim-threads" => {
+                    if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                        o.sim_threads = n;
+                    }
+                }
                 _ => {}
             }
         }
@@ -274,6 +284,10 @@ impl CliOptions {
 pub fn main_single(name: &str) -> ExitCode {
     let exp = by_name(name).unwrap_or_else(|| panic!("experiment {name} not registered"));
     let opts = CliOptions::parse(std::env::args().skip(1));
+    // Experiments build their GpuConfigs internally; the process-wide
+    // default lets one flag reach all of them. Sound because the
+    // parallel engine is byte-identical to serial at any thread count.
+    gscalar_sim::config::set_default_exec_threads(opts.sim_threads);
     let mut specs = (exp.grid)(opts.scale);
     if opts.budget > 0 {
         for s in &mut specs {
@@ -334,14 +348,25 @@ mod tests {
 
     #[test]
     fn cli_options_parse_known_flags() {
-        let o = CliOptions::parse(["--scale", "test", "--threads", "4", "--budget", "5000"]);
+        let o = CliOptions::parse([
+            "--scale",
+            "test",
+            "--threads",
+            "4",
+            "--budget",
+            "5000",
+            "--sim-threads",
+            "2",
+        ]);
         assert!(matches!(o.scale, Scale::Test));
         assert_eq!(o.threads, 4);
         assert_eq!(o.budget, 5000);
+        assert_eq!(o.sim_threads, 2);
         let d = CliOptions::parse(Vec::<String>::new());
         assert!(matches!(d.scale, Scale::Full));
         assert_eq!(d.threads, 1);
         assert_eq!(d.budget, 0);
+        assert_eq!(d.sim_threads, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::stats::Stats;
 
 /// Safety valve: a run exceeding this many cycles panics instead of
 /// spinning forever (a workload bug, not a hardware condition).
-const WATCHDOG_CYCLES: u64 = 2_000_000_000;
+pub(crate) const WATCHDOG_CYCLES: u64 = 2_000_000_000;
 
 /// Receives interval samples and the final state of a simulation run.
 ///
@@ -202,6 +202,23 @@ impl Gpu {
         observer: &mut dyn RunObserver,
         profiler: &mut Profiler,
     ) -> Stats {
+        let exec_threads =
+            gscalar_pool::resolve_threads(self.cfg.exec_threads).min(self.cfg.num_sms);
+        if exec_threads > 1 {
+            return crate::parallel::run_parallel(
+                &self.cfg,
+                &self.arch,
+                exec_threads,
+                kernel,
+                launch,
+                gmem,
+                tracer,
+                snapshot_interval,
+                sample_interval,
+                observer,
+                profiler,
+            );
+        }
         let mut memsys = MemSystem::new(&self.cfg);
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
             .map(|i| Sm::new(i, &self.cfg, &self.arch, kernel.num_regs() as usize))
@@ -339,7 +356,7 @@ impl Gpu {
 }
 
 /// Converts a linear CTA index to grid coordinates.
-fn cta_coord(linear: u64, grid: Dim3) -> Dim3 {
+pub(crate) fn cta_coord(linear: u64, grid: Dim3) -> Dim3 {
     let x = (linear % u64::from(grid.x)) as u32;
     let rest = linear / u64::from(grid.x);
     let y = (rest % u64::from(grid.y)) as u32;

@@ -53,6 +53,7 @@ pub mod gpu;
 pub mod memory;
 pub mod memsys;
 pub mod metrics;
+pub mod parallel;
 pub mod pipeline;
 pub mod reference;
 pub mod regfile;

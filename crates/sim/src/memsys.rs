@@ -14,6 +14,10 @@ use crate::cache::{Cache, CacheOutcome};
 use crate::config::GpuConfig;
 use crate::stats::MemStats;
 
+/// Smallest MSHR population that triggers an amortized sweep of landed
+/// fills (below this the map is too small for staleness to matter).
+const MSHR_SWEEP_MIN: usize = 64;
+
 /// The shared memory hierarchy below the SMs.
 #[derive(Debug, Clone)]
 pub struct MemSystem {
@@ -26,7 +30,14 @@ pub struct MemSystem {
     channels: usize,
     l1: Vec<Cache>,
     /// Per-SM outstanding L1 miss lines → fill time (MSHR merging).
+    /// Entries expire lazily: a lookup that finds a fill already landed
+    /// removes it, and an amortized sweep (see `mshr_sweep`) bounds the
+    /// map size without an O(outstanding) scan on every miss.
     mshr: Vec<HashMap<u64, u64>>,
+    /// Per-SM MSHR size threshold that triggers the next amortized
+    /// sweep of landed fills; doubles with the live population, so the
+    /// sweep cost is O(1) amortized per miss.
+    mshr_sweep: Vec<usize>,
     l2: Vec<Cache>,
     l2_free: Vec<u64>,
     chan_free: Vec<u64>,
@@ -49,6 +60,7 @@ impl MemSystem {
                 .map(|_| Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes))
                 .collect(),
             mshr: (0..cfg.num_sms).map(|_| HashMap::new()).collect(),
+            mshr_sweep: vec![MSHR_SWEEP_MIN; cfg.num_sms],
             l2: (0..cfg.mem_channels)
                 .map(|_| Cache::new(l2_part_bytes, cfg.l2_ways, cfg.line_bytes))
                 .collect(),
@@ -119,14 +131,17 @@ impl MemSystem {
             return (now + self.l1_hit_lat, level);
         }
         // MSHR merge: an outstanding fill for this line absorbs the new
-        // request (the L1 tag is already allocated, but data arrives
-        // only when the fill returns).
+        // request (the L1 tag is already allocated by the original miss,
+        // so the merge neither re-touches the tags nor counts as a hit
+        // or a miss — data simply arrives when the fill returns).
         if let Some(&ready) = self.mshr[sm].get(&line) {
             if ready > now {
-                stats.l1_misses += 1;
-                self.l1[sm].access(line, now, true);
+                stats.l1_mshr_hits += 1;
                 return (ready, MemLevel::MshrMerge);
             }
+            // The fill already landed; expire the entry lazily here
+            // instead of sweeping the whole map on every miss.
+            self.mshr[sm].remove(&line);
         }
         match self.l1[sm].access(line, now, true) {
             CacheOutcome::Hit => {
@@ -136,8 +151,14 @@ impl MemSystem {
             CacheOutcome::Miss => {
                 stats.l1_misses += 1;
                 let (ready, level) = self.l2_access(sm, line, now, stats, false);
-                self.mshr[sm].retain(|_, &mut t| t > now);
                 self.mshr[sm].insert(line, ready);
+                // Amortized bound on lines that are never re-accessed:
+                // sweep landed fills only when the map outgrows its
+                // threshold, then re-arm at twice the live population.
+                if self.mshr[sm].len() >= self.mshr_sweep[sm] {
+                    self.mshr[sm].retain(|_, &mut t| t > now);
+                    self.mshr_sweep[sm] = (self.mshr[sm].len() * 2).max(MSHR_SWEEP_MIN);
+                }
                 (ready, level)
             }
         }
@@ -231,6 +252,27 @@ mod tests {
         let t2 = m.access(0, 0x3010, false, 1, &mut s);
         assert_eq!(t1, t2);
         assert_eq!(s.l2_hits + s.l2_misses, before);
+        // The merge is its own class: not an L1 miss (there is no new
+        // fill) and not a hit (the data is not there yet).
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l1_hits, 0);
+        assert_eq!(s.l1_mshr_hits, 1);
+        assert_eq!(s.l1_hits + s.l1_misses + s.l1_mshr_hits, s.global_accesses);
+    }
+
+    #[test]
+    fn stale_mshr_entries_expire_lazily() {
+        let (mut m, mut s) = sys();
+        let fill = m.access(0, 0x6000, false, 0, &mut s);
+        // Past the fill time the entry is stale: the access must see a
+        // plain L1 hit (the line landed), not a phantom merge.
+        let warm = m.access(0, 0x6000, false, fill + 1, &mut s);
+        assert_eq!(warm, fill + 1 + 32);
+        assert_eq!(s.l1_mshr_hits, 0);
+        assert_eq!(s.l1_hits, 1);
+        // And the lazy removal means a later same-line miss re-fills
+        // rather than returning the long-gone completion time.
+        assert_eq!(m.mshr[0].len(), 0);
     }
 
     #[test]
@@ -264,9 +306,11 @@ mod tests {
         let (mut m, mut s) = sys();
         let mut buf = gscalar_trace::EventBuf::new(16);
         let mut t = Tracer::new(&mut buf);
+        // Chronological, as the engine issues them: the merge lands
+        // while the fill is still in flight, the warm hit after it.
         let cold = m.access_traced(0, 0x5000, false, 0, &mut s, &mut t);
-        m.access_traced(0, 0x5000, false, cold + 1, &mut s, &mut t);
         m.access_traced(0, 0x5010, false, 1, &mut s, &mut t); // MSHR merge
+        m.access_traced(0, 0x5000, false, cold + 1, &mut s, &mut t);
         let levels: Vec<MemLevel> = buf
             .records()
             .iter()
@@ -277,7 +321,7 @@ mod tests {
             .collect();
         assert_eq!(
             levels,
-            vec![MemLevel::Dram, MemLevel::L1Hit, MemLevel::MshrMerge]
+            vec![MemLevel::Dram, MemLevel::MshrMerge, MemLevel::L1Hit]
         );
         // The traced variant and the plain one share the timing model.
         assert_eq!(s.global_accesses, 3);

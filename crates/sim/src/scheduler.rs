@@ -55,6 +55,17 @@ impl Scheduler {
         &self.warps
     }
 
+    /// Forgets `w` as the greedy candidate when the warp exits (its CTA
+    /// retires). Without this the greedy pointer survives into whatever
+    /// new warp reuses the same slot, handing it priority over older
+    /// siblings and charging stall cycles to the dead warp's stale head
+    /// PC before the slot refills.
+    pub fn retire(&mut self, w: usize) {
+        if self.greedy == Some(w) {
+            self.greedy = None;
+        }
+    }
+
     /// Picks the next warp to issue from, or `None` if no owned warp
     /// satisfies `ready`.
     pub fn pick(&mut self, mut ready: impl FnMut(usize) -> bool) -> Option<usize> {
@@ -123,6 +134,25 @@ mod tests {
         assert_eq!(s.pick(|_| true), Some(1));
         assert_eq!(s.pick(|_| true), Some(2));
         assert_eq!(s.pick(|_| true), Some(0));
+    }
+
+    #[test]
+    fn gto_retire_clears_greedy_priority() {
+        let mut s = Scheduler::new(SchedPolicy::Gto, vec![0, 1, 2]);
+        // Warp 2 becomes greedy, then exits. A later pick with every
+        // slot ready must fall back to the oldest warp, not keep the
+        // retired warp's slot at the head of the line.
+        assert_eq!(s.pick(|w| w == 2), Some(2));
+        s.retire(2);
+        assert_eq!(s.pick(|_| true), Some(0));
+    }
+
+    #[test]
+    fn gto_retire_of_non_greedy_is_a_no_op() {
+        let mut s = Scheduler::new(SchedPolicy::Gto, vec![0, 1, 2]);
+        assert_eq!(s.pick(|w| w == 2), Some(2));
+        s.retire(1);
+        assert_eq!(s.pick(|_| true), Some(2));
     }
 
     #[test]

@@ -180,6 +180,12 @@ pub struct MemStats {
     pub l1_hits: u64,
     /// L1 misses.
     pub l1_misses: u64,
+    /// Loads absorbed by an outstanding L1 miss to the same line (MSHR
+    /// merges). Neither hits nor misses: they cause no new L2 traffic
+    /// and do not touch the L1 tags, but they still wait for the fill.
+    /// `l1_hits + l1_misses + l1_mshr_hits` equals the load share of
+    /// `global_accesses`.
+    pub l1_mshr_hits: u64,
     /// L2 hits.
     pub l2_hits: u64,
     /// L2 misses (DRAM accesses).
@@ -388,6 +394,7 @@ impl Stats {
             global_accesses,
             l1_hits,
             l1_misses,
+            l1_mshr_hits,
             l2_hits,
             l2_misses,
             shared_accesses,
@@ -398,6 +405,7 @@ impl Stats {
         s.counter_add("global_accesses", *global_accesses);
         s.counter_add("l1_hits", *l1_hits);
         s.counter_add("l1_misses", *l1_misses);
+        s.counter_add("l1_mshr_hits", *l1_mshr_hits);
         s.counter_add("l2_hits", *l2_hits);
         s.counter_add("l2_misses", *l2_misses);
         s.counter_add("shared_accesses", *shared_accesses);
@@ -534,6 +542,7 @@ impl Stats {
             global_accesses,
             l1_hits,
             l1_misses,
+            l1_mshr_hits,
             l2_hits,
             l2_misses,
             shared_accesses,
@@ -544,6 +553,7 @@ impl Stats {
         m.global_accesses += global_accesses;
         m.l1_hits += l1_hits;
         m.l1_misses += l1_misses;
+        m.l1_mshr_hits += l1_mshr_hits;
         m.l2_hits += l2_hits;
         m.l2_misses += l2_misses;
         m.shared_accesses += shared_accesses;
@@ -679,6 +689,7 @@ mod tests {
                 global_accesses: 45,
                 l1_hits: 46,
                 l1_misses: 47,
+                l1_mshr_hits: 59,
                 l2_hits: 48,
                 l2_misses: 49,
                 shared_accesses: 50,

@@ -44,7 +44,12 @@ proptest! {
         for (i, addr) in addrs.iter().enumerate() {
             m.access(0, *addr, false, i as u64 * 4, &mut stats);
         }
-        prop_assert_eq!(stats.l1_hits + stats.l1_misses, stats.global_accesses);
+        // Every load resolves exactly one way: L1 hit, L1 miss, or a
+        // merge into an outstanding miss to the same line.
+        prop_assert_eq!(
+            stats.l1_hits + stats.l1_misses + stats.l1_mshr_hits,
+            stats.global_accesses
+        );
         // Every L2 access (hit or miss) came from an L1 miss that was
         // not MSHR-merged.
         prop_assert!(stats.l2_hits + stats.l2_misses <= stats.l1_misses);
