@@ -49,6 +49,33 @@ cmp "$tmp/sweep/probe.json" "$tmp/serial-probe.json"
 rerun=$(./target/release/sweep probe --scale test --threads 2 --out "$tmp/sweep" 2>&1)
 grep -q "0 executed" <<< "$rerun"
 
+echo "== hostprof off-path (deterministic manifests unchanged at 1/2/4 threads)"
+# Host-side profiling must never perturb simulated results: with
+# --hostprof, deterministic manifests stay byte-identical to the plain
+# serial run at every thread count. Real timings land in the
+# *.host.json side channel instead, which is never part of the gate.
+./target/release/probe --scale test --deterministic --hostprof \
+    --json "$tmp/hp-t1.json" > /dev/null
+./target/release/probe --scale test --deterministic --hostprof --sim-threads 2 \
+    --json "$tmp/hp-t2.json" > /dev/null
+./target/release/probe --scale test --deterministic --hostprof --sim-threads 4 \
+    --json "$tmp/hp-t4.json" > /dev/null
+cmp "$tmp/serial-probe.json" "$tmp/hp-t1.json"
+cmp "$tmp/serial-probe.json" "$tmp/hp-t2.json"
+cmp "$tmp/serial-probe.json" "$tmp/hp-t4.json"
+test -s "$tmp/hp-t1.host.json"
+rm "$tmp"/hp-t[124].json "$tmp"/hp-t[124].host.json
+
+echo "== throughput smoke + trend (informational, never gates)"
+# Wall-clock throughput is machine-dependent; the compare against the
+# committed trend file prints deltas (host/* is informational in the
+# comparator) but a failure here must not break CI on jitter alone.
+./target/release/throughput --scale test \
+    --json "$tmp/throughput/BENCH_throughput.json" > /dev/null
+./target/release/report compare BENCH_throughput.json \
+    "$tmp/throughput/BENCH_throughput.json" || \
+    echo "throughput trend compare: informational only, not gating"
+
 echo "== profile smoke"
 # Separate subdirectory: the compare above globs $tmp/*.json and must
 # not see the profile manifest. The binary itself exits non-zero when

@@ -1,0 +1,89 @@
+//! Hostprof-overhead benchmark: the disabled phase-guard path threaded
+//! through the per-cycle loop must cost within noise of the
+//! uninstrumented baseline (a relaxed atomic load per probe), and the
+//! enabled path's cost is reported for reference.
+//!
+//! Besides the criterion report, `disabled_guard_cost_is_noise`
+//! asserts an absolute bound: a disabled `hostprof::phase` guard must
+//! stay under 1 µs per enter/exit pair — orders of magnitude of slack
+//! over the expected few-ns cost, but tight enough to catch an
+//! accidental branch into the timing path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gscalar_core::{Arch, Runner};
+use gscalar_hostprof as hostprof;
+use gscalar_sim::GpuConfig;
+use gscalar_workloads::{by_abbr, Scale};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn disabled_guard_cost_is_noise() {
+    hostprof::set_enabled(false);
+    hostprof::reset();
+    const ITERS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let g = hostprof::phase(hostprof::Phase::Execute);
+        black_box(&g);
+        drop(g);
+    }
+    let per_call_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    assert!(
+        per_call_ns < 1_000.0,
+        "disabled hostprof guard costs {per_call_ns:.1} ns/call (limit 1000)"
+    );
+    eprintln!("disabled hostprof guard: {per_call_ns:.2} ns/call");
+}
+
+fn bench_hostprof(c: &mut Criterion) {
+    // The absolute-bound assertion runs once, before the groups, so a
+    // regression fails the bench binary even when criterion's
+    // statistics would smooth it over.
+    disabled_guard_cost_is_noise();
+
+    let mut g = c.benchmark_group("hostprof");
+    g.sample_size(20);
+    let runner = Runner::new(GpuConfig::test_small());
+    let w = by_abbr("BP", Scale::Test).expect("known benchmark");
+    let instrs = runner.run(&w, Arch::GScalar).stats.instr.warp_instrs;
+    g.throughput(Throughput::Elements(instrs));
+
+    // Baseline: the instrumented run loop with profiling disabled —
+    // each probe is a single relaxed load.
+    hostprof::set_enabled(false);
+    hostprof::reset();
+    g.bench_function("off/run", |b| {
+        b.iter(|| black_box(runner.run(&w, Arch::GScalar).stats.cycles))
+    });
+
+    // Enabled: every probe reads the monotonic clock twice and charges
+    // a thread-local accumulator.
+    g.bench_function("on/run", |b| {
+        hostprof::set_enabled(true);
+        b.iter(|| black_box(runner.run(&w, Arch::GScalar).stats.cycles));
+        hostprof::set_enabled(false);
+        hostprof::reset();
+    });
+
+    // Micro: the guard pair itself, disabled vs enabled.
+    g.bench_function("off/guard", |b| {
+        hostprof::set_enabled(false);
+        b.iter(|| {
+            let g = hostprof::phase(hostprof::Phase::Execute);
+            black_box(&g);
+        })
+    });
+    g.bench_function("on/guard", |b| {
+        hostprof::set_enabled(true);
+        b.iter(|| {
+            let g = hostprof::phase(hostprof::Phase::Execute);
+            black_box(&g);
+        });
+        hostprof::set_enabled(false);
+        hostprof::reset();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hostprof);
+criterion_main!(benches);

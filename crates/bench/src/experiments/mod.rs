@@ -229,6 +229,9 @@ pub struct CliOptions {
     /// default 1 = serial; 0 = all cores). Results are byte-identical
     /// at any setting; see `gscalar_sim::parallel`.
     pub sim_threads: usize,
+    /// Host-side self-profiling (`--hostprof`, default off). Purely
+    /// observational: simulated results are byte-identical either way.
+    pub hostprof: bool,
 }
 
 impl CliOptions {
@@ -245,6 +248,7 @@ impl CliOptions {
             threads: 1,
             budget: 0,
             sim_threads: 1,
+            hostprof: false,
         };
         let mut it = args.into_iter().map(Into::into);
         while let Some(a) = it.next() {
@@ -269,6 +273,7 @@ impl CliOptions {
                         o.sim_threads = n;
                     }
                 }
+                "--hostprof" => o.hostprof = true,
                 _ => {}
             }
         }
@@ -288,6 +293,7 @@ pub fn main_single(name: &str) -> ExitCode {
     // default lets one flag reach all of them. Sound because the
     // parallel engine is byte-identical to serial at any thread count.
     gscalar_sim::config::set_default_exec_threads(opts.sim_threads);
+    gscalar_hostprof::set_enabled(opts.hostprof);
     let mut specs = (exp.grid)(opts.scale);
     if opts.budget > 0 {
         for s in &mut specs {
@@ -357,16 +363,19 @@ mod tests {
             "5000",
             "--sim-threads",
             "2",
+            "--hostprof",
         ]);
         assert!(matches!(o.scale, Scale::Test));
         assert_eq!(o.threads, 4);
         assert_eq!(o.budget, 5000);
         assert_eq!(o.sim_threads, 2);
+        assert!(o.hostprof);
         let d = CliOptions::parse(Vec::<String>::new());
         assert!(matches!(d.scale, Scale::Full));
         assert_eq!(d.threads, 1);
         assert_eq!(d.budget, 0);
         assert_eq!(d.sim_threads, 1);
+        assert!(!d.hostprof);
     }
 
     #[test]

@@ -263,21 +263,44 @@ impl Report {
     /// was given, writes the JSON file (creating parent directories).
     /// Returns the manifest for inspection.
     ///
+    /// Deterministic mode zeroes the wall-clock fields in the main
+    /// manifest (so it stays byte-identical across machines) but does
+    /// not discard them: the real timings go to a `<stem>.host.json`
+    /// side channel next to the manifest, which determinism gates
+    /// (`cmp`) and [`load_manifests`] both ignore.
+    ///
     /// # Panics
     ///
     /// Panics when the JSON file cannot be written — a bench invoked
     /// with `--json` must not silently produce nothing.
     pub fn finish(mut self) -> Option<Manifest> {
         let wall = self.start.elapsed().as_secs_f64();
-        self.manifest.host = gscalar_metrics::HostProfile {
-            wall_time_s: if self.deterministic { 0.0 } else { wall },
+        let real_host = gscalar_metrics::HostProfile {
+            wall_time_s: wall,
             sim_cycles: self.sim_cycles,
-            cycles_per_host_s: if self.deterministic || wall <= 0.0 {
+            cycles_per_host_s: if wall <= 0.0 {
                 0.0
             } else {
                 self.sim_cycles as f64 / wall
             },
         };
+        self.manifest.host = if self.deterministic {
+            gscalar_metrics::HostProfile {
+                wall_time_s: 0.0,
+                sim_cycles: self.sim_cycles,
+                cycles_per_host_s: 0.0,
+            }
+        } else {
+            real_host.clone()
+        };
+        // Host-time phase breakdown rides in the manifest only when it
+        // cannot perturb determinism; otherwise it goes to the side
+        // channel below.
+        if !self.deterministic && gscalar_hostprof::enabled() {
+            for (path, v) in gscalar_hostprof::snapshot().flatten() {
+                self.manifest.set(path, v);
+            }
+        }
         if let Some(path) = &self.json_path {
             if let Some(dir) = path.parent() {
                 if !dir.as_os_str().is_empty() {
@@ -288,9 +311,34 @@ impl Report {
             std::fs::write(path, self.manifest.to_json())
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
             eprintln!("wrote {}", path.display());
+            if self.deterministic {
+                let side_path = path.with_extension("host.json");
+                let side = host_side_channel(&self.manifest.bench, &real_host);
+                std::fs::write(&side_path, side.to_json())
+                    .unwrap_or_else(|e| panic!("writing {}: {e}", side_path.display()));
+            }
         }
         Some(self.manifest)
     }
+}
+
+/// Builds the `<stem>.host.json` side-channel manifest: the real host
+/// profile a deterministic run measured, plus the hostprof phase/pool
+/// breakdown when profiling is enabled. Every metric lives under
+/// `host/`, so `report compare` treats the whole file as informational.
+#[must_use]
+pub fn host_side_channel(bench: &str, real: &gscalar_metrics::HostProfile) -> Manifest {
+    let mut side = Manifest::new(format!("{bench}.host"));
+    side.host = real.clone();
+    side.set("host/wall_time_s", real.wall_time_s);
+    side.set("host/sim_cycles", real.sim_cycles as f64);
+    side.set("host/cycles_per_host_s", real.cycles_per_host_s);
+    if gscalar_hostprof::enabled() {
+        for (path, v) in gscalar_hostprof::snapshot().flatten() {
+            side.set(path, v);
+        }
+    }
+    side
 }
 
 /// The exact metric set [`Report::record_run`] emits, as `(path,
@@ -369,7 +417,10 @@ pub fn run_metrics(prefix: &str, r: &RunReport) -> Vec<(String, f64)> {
 }
 
 /// Loads manifests from `path`: a single `.json` file or a directory
-/// (every `*.json` inside, sorted by file name).
+/// (every `*.json` inside, sorted by file name). `*.host.json`
+/// side-channel files are skipped: they carry real wall-clock timings
+/// next to deterministic manifests and must never enter a regression
+/// comparison set.
 ///
 /// # Errors
 ///
@@ -384,6 +435,11 @@ pub fn load_manifests(path: &Path) -> Result<Vec<Manifest>, String> {
             .filter_map(Result::ok)
             .map(|entry| entry.path())
             .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .filter(|p| {
+                !p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".host.json"))
+            })
             .collect();
         files.sort();
         if files.is_empty() {
@@ -465,6 +521,35 @@ mod tests {
         assert_eq!(m.host.wall_time_s, 0.0);
         assert_eq!(m.host.cycles_per_host_s, 0.0);
         assert_eq!(m.host.sim_cycles, 500);
+    }
+
+    #[test]
+    fn deterministic_finish_writes_real_timing_side_channel() {
+        let dir = std::env::temp_dir().join("gscalar-bench-hostside");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("probe.json");
+        let mut r = Report::from_args(
+            "probe",
+            [
+                "--json".to_string(),
+                path.display().to_string(),
+                "--deterministic".to_string(),
+            ],
+        );
+        r.metric("k", 1.0);
+        r.add_cycles(777);
+        let m = r.finish().unwrap();
+        assert_eq!(m.host.wall_time_s, 0.0, "main manifest stays zeroed");
+        let side = Manifest::load(&dir.join("probe.host.json")).unwrap();
+        assert_eq!(side.bench, "probe.host");
+        assert_eq!(side.host.sim_cycles, 777);
+        assert!(side.host.wall_time_s > 0.0, "side channel keeps real time");
+        assert_eq!(side.get("host/sim_cycles"), Some(777.0));
+        // The side channel never contaminates a directory load.
+        let loaded = load_manifests(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].bench, "probe");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -87,6 +87,42 @@ fn compare_respects_custom_threshold() {
 }
 
 #[test]
+fn compare_treats_host_metrics_as_informational() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-host");
+    let base = root.join("base");
+    let cur = root.join("cur");
+    let with_host = |cycles: f64, phase_ns: f64| {
+        format!(
+            "{{\"schema\":1,\"bench\":\"probe\",\"config_digest\":\"abc\",\
+             \"host\":{{\"wall_time_s\":1.0,\"sim_cycles\":100,\"cycles_per_host_s\":100.0}},\
+             \"metrics\":{{\"gpu/cycles\":{cycles},\
+             \"host/phase/execute/ns\":{phase_ns},\
+             \"host/pool/steals\":{phase_ns}}}}}"
+        )
+    };
+    std::fs::create_dir_all(&base).unwrap();
+    std::fs::create_dir_all(&cur).unwrap();
+    // host/* drifts by 10x; the simulated metric is unchanged.
+    std::fs::write(base.join("probe.json"), with_host(1000.0, 5_000_000.0)).unwrap();
+    std::fs::write(cur.join("probe.json"), with_host(1000.0, 50_000_000.0)).unwrap();
+    let out = report(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "host-only drift must never gate; stdout: {text}"
+    );
+    assert!(text.contains("result: PASS"), "got: {text}");
+    // The delta is still printed for trend reading.
+    assert!(text.contains("host/phase/execute/ns"), "got: {text}");
+    // A simulated-metric breach still fails even alongside host noise.
+    std::fs::write(cur.join("probe.json"), with_host(1500.0, 50_000_000.0)).unwrap();
+    let out = report(&["compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("result: FAIL"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn aggregate_covers_every_manifest() {
     let root = std::env::temp_dir().join("gscalar-report-cli-agg");
     std::fs::create_dir_all(&root).unwrap();

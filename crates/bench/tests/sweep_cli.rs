@@ -122,12 +122,18 @@ fn sweep_resumes_completed_jobs_and_reexecutes_corrupted_ones() {
     assert_eq!(first, read(&out.join("probe.json")));
 
     // Corrupt one job manifest: exactly that job re-executes and the
-    // rendered output is unchanged.
+    // rendered output is unchanged. (`.host.json` timing side channels
+    // are not resume state — corrupting one would re-execute nothing.)
     let jobs: Vec<PathBuf> = std::fs::read_dir(out.join("jobs/probe"))
         .unwrap()
         .filter_map(Result::ok)
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .filter(|p| {
+            !p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".host.json"))
+        })
         .collect();
     assert!(!jobs.is_empty());
     std::fs::write(&jobs[0], "{trunc").unwrap();

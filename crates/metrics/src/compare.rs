@@ -36,15 +36,25 @@ impl Default for CompareConfig {
 }
 
 impl CompareConfig {
-    /// The threshold applying to `path` (longest matching override
-    /// prefix, else the default).
+    /// The threshold applying to `path`: the longest matching override
+    /// prefix wins; with no override, `host/...` metrics (wall-clock
+    /// timings, machine-dependent by construction) are informational —
+    /// their delta is printed but can never breach — and everything
+    /// else gets the default.
     #[must_use]
     pub fn threshold_for(&self, path: &str) -> f64 {
-        self.overrides
+        if let Some((_, t)) = self
+            .overrides
             .iter()
             .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
             .max_by_key(|(prefix, _)| prefix.len())
-            .map_or(self.default_threshold_pct, |(_, t)| *t)
+        {
+            return *t;
+        }
+        if path.starts_with("host/") || path.contains("/host/") {
+            return f64::INFINITY;
+        }
+        self.default_threshold_pct
     }
 }
 
@@ -325,6 +335,45 @@ mod tests {
         assert_eq!(cfg.threshold_for("host/wall"), f64::INFINITY);
         assert_eq!(cfg.threshold_for("host/sim/cycles"), 5.0);
         assert_eq!(cfg.threshold_for("perf/ipc"), 1.0);
+    }
+
+    #[test]
+    fn host_metrics_are_informational_without_overrides() {
+        let cfg = CompareConfig::default();
+        assert_eq!(cfg.threshold_for("host/phase/execute/ns"), f64::INFINITY);
+        assert_eq!(
+            cfg.threshold_for("fig11/host/wall_time_s"),
+            f64::INFINITY,
+            "merged BENCH_* manifests nest host under the bench name"
+        );
+        assert_eq!(cfg.threshold_for("perf/ipc"), cfg.default_threshold_pct);
+        // An explicit override still beats the built-in exemption.
+        let strict = CompareConfig {
+            overrides: vec![("host/pool".into(), 3.0)],
+            ..CompareConfig::default()
+        };
+        assert_eq!(strict.threshold_for("host/pool/steals"), 3.0);
+    }
+
+    #[test]
+    fn host_deltas_never_fail_compare() {
+        let base = vec![manifest(
+            "a",
+            &[("host/phase/execute/ns", 100.0), ("ipc", 2.0)],
+        )];
+        let cur = vec![manifest(
+            "a",
+            &[("host/phase/execute/ns", 900.0), ("ipc", 2.0)],
+        )];
+        let report = compare(&base, &cur, &CompareConfig::default());
+        assert!(report.passed(), "host-only drift must not gate");
+        let host = report
+            .deltas
+            .iter()
+            .find(|d| d.path == "host/phase/execute/ns")
+            .unwrap();
+        assert!(host.delta_pct > 0.0, "delta still printed for trends");
+        assert!(!host.breached());
     }
 
     #[test]

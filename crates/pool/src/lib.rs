@@ -13,11 +13,18 @@
 //!
 //! Both are built on scoped threads and standard-library primitives
 //! only.
+//!
+//! Both executors carry `gscalar-hostprof` probes (steal counters,
+//! queue-depth and barrier-wait histograms, epoch-wait phase timers);
+//! the probes are no-ops unless host profiling is globally enabled.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Instant;
+
+use gscalar_hostprof as hostprof;
 
 /// Runs `work(i)` for every `i` in `0..count` on `threads` workers,
 /// invoking `on_done(i, result)` on the calling thread as each task
@@ -76,15 +83,22 @@ where
 /// empty (no tasks are ever re-enqueued, so empty-everywhere is
 /// terminal).
 fn next_task(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(i) = queues[w].lock().expect("queue lock").pop_back() {
+    let (depth, own) = {
+        let mut q = queues[w].lock().expect("queue lock");
+        (q.len() as u64, q.pop_back())
+    };
+    hostprof::hist_record(hostprof::Hist::QueueDepth, depth);
+    if let Some(i) = own {
         return Some(i);
     }
     let n = queues.len();
     for off in 1..n {
         let victim = (w + off) % n;
         if let Some(i) = queues[victim].lock().expect("queue lock").pop_front() {
+            hostprof::counter_add(hostprof::Counter::PoolSteals, 1);
             return Some(i);
         }
+        hostprof::counter_add(hostprof::Counter::PoolFailedSteals, 1);
     }
     None
 }
@@ -207,6 +221,9 @@ where
                 let mut seen = 0u64;
                 loop {
                     let mut spins = 0u32;
+                    // Epoch-release wait: attributed to PoolIdle so the
+                    // per-worker barrier cost shows up in phase totals.
+                    let idle = hostprof::phase(hostprof::Phase::PoolIdle);
                     let e = loop {
                         if ctl.stop.load(Ordering::Acquire) {
                             return;
@@ -217,6 +234,7 @@ where
                         }
                         backoff(&mut spins);
                     };
+                    drop(idle);
                     seen = e;
                     let guard = DoneGuard(ctl);
                     let now = ctl.now.load(Ordering::Relaxed);
@@ -252,12 +270,23 @@ where
             }
             // Barrier: their Release increments of `done` make every
             // worker's writes visible here.
-            let mut spins = 0u32;
-            while ctl.done.load(Ordering::Acquire) < workers {
-                if ctl.panicked.load(Ordering::Acquire) {
-                    break;
+            let wait_t0 = hostprof::enabled().then(Instant::now);
+            {
+                let _idle = hostprof::phase(hostprof::Phase::PoolIdle);
+                let mut spins = 0u32;
+                while ctl.done.load(Ordering::Acquire) < workers {
+                    if ctl.panicked.load(Ordering::Acquire) {
+                        break;
+                    }
+                    backoff(&mut spins);
                 }
-                backoff(&mut spins);
+            }
+            if let Some(t0) = wait_t0 {
+                hostprof::hist_record(
+                    hostprof::Hist::BarrierWaitNs,
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                hostprof::counter_add(hostprof::Counter::PoolEpochs, 1);
             }
             assert!(
                 !ctl.panicked.load(Ordering::Acquire),
@@ -387,6 +416,24 @@ mod tests {
             },
         );
         assert_eq!(done.load(Ordering::SeqCst), 7 * count);
+    }
+
+    #[test]
+    fn hostprof_telemetry_records_epochs_and_queue_depths() {
+        // Telemetry is process-global and other tests may run
+        // concurrently (they leave it disabled, so only this test's
+        // window records) — assert lower bounds, not exact counts.
+        hostprof::reset();
+        hostprof::set_enabled(true);
+        run_epochs(4, 16, 0, |_, _| {}, |now| (now < 3).then_some(now + 1));
+        run_indexed(4, 32, |i| i, |_, _| {});
+        hostprof::set_enabled(false);
+        let s = hostprof::snapshot();
+        assert!(s.counter(hostprof::Counter::PoolEpochs) >= 4);
+        assert!(s.hist(hostprof::Hist::BarrierWaitNs).count() >= 4);
+        assert!(s.hist(hostprof::Hist::QueueDepth).count() >= 32);
+        assert!(s.phase(hostprof::Phase::PoolIdle).calls >= 4);
+        hostprof::reset();
     }
 
     #[test]

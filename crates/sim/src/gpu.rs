@@ -1,5 +1,6 @@
 //! The full GPU: SMs, the CTA scheduler, and the run loop.
 
+use gscalar_hostprof as hostprof;
 use gscalar_isa::{Dim3, Kernel, LaunchConfig};
 use gscalar_profile::Profiler;
 use gscalar_trace::{TraceEvent, Tracer};
@@ -232,6 +233,7 @@ impl Gpu {
         let warps_per_cta = threads.div_ceil(self.cfg.warp_size);
 
         // Initial fill, round-robin over SMs.
+        let fill_phase = hostprof::phase(hostprof::Phase::CtaLaunch);
         let mut made_progress = true;
         while made_progress && next_cta < total_ctas {
             made_progress = false;
@@ -255,6 +257,7 @@ impl Gpu {
             next_cta > 0,
             "CTA of {threads} threads does not fit the configuration"
         );
+        drop(fill_phase);
 
         let mut now: u64 = 0;
         let mut last_snapshot: u64 = 0;
@@ -267,6 +270,7 @@ impl Gpu {
                 if completed > 0 {
                     ctas_done += completed as u64;
                     // Refill this SM.
+                    let _fill_phase = hostprof::phase(hostprof::Phase::CtaLaunch);
                     while next_cta < total_ctas
                         && sm.can_accept_cta(warps_per_cta, kernel.shared_mem_bytes())
                     {
@@ -295,6 +299,7 @@ impl Gpu {
             } else {
                 // Idle: skip ahead to the next pipeline completion or
                 // scoreboard release.
+                let _idle_phase = hostprof::phase(hostprof::Phase::IdleScan);
                 let next = sms
                     .iter()
                     .flat_map(|sm| {
@@ -312,6 +317,7 @@ impl Gpu {
             if snapshot_interval > 0 && tracer.is_on() {
                 let boundary = now / snapshot_interval * snapshot_interval;
                 if boundary > last_snapshot {
+                    let _snap_phase = hostprof::phase(hostprof::Phase::Snapshot);
                     last_snapshot = boundary;
                     for (i, sm) in sms.iter().enumerate() {
                         let s = &sm.stats;
@@ -332,6 +338,7 @@ impl Gpu {
             if let Some(intervals) = now.checked_div(sample_interval) {
                 let boundary = intervals * sample_interval;
                 if boundary > last_sample {
+                    let _snap_phase = hostprof::phase(hostprof::Phase::Snapshot);
                     last_sample = boundary;
                     let mut cum = Stats::default();
                     for sm in &sms {

@@ -38,6 +38,7 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::{Mutex, RwLock};
 
+use gscalar_hostprof as hostprof;
 use gscalar_isa::{Kernel, LaunchConfig};
 use gscalar_profile::Profiler;
 use gscalar_trace::{Record, TraceEvent, TraceSink, Tracer};
@@ -165,6 +166,7 @@ fn run_epochs_inner(
     let mut ctas_done: u64 = 0;
     let cta_threads = launch.threads_per_cta() as usize;
     let warps_per_cta = cta_threads.div_ceil(cfg.warp_size);
+    let fill_phase = hostprof::phase(hostprof::Phase::CtaLaunch);
     let mut made_progress = true;
     while made_progress && next_cta < total_ctas {
         made_progress = false;
@@ -189,6 +191,7 @@ fn run_epochs_inner(
         next_cta > 0,
         "CTA of {cta_threads} threads does not fit the configuration"
     );
+    drop(fill_phase);
 
     let tracing = tracer.is_on();
     let mut last_snapshot: u64 = 0;
@@ -229,6 +232,10 @@ fn run_epochs_inner(
         // sm-id order, then advance the clock exactly as the serial
         // loop does.
         let next = |now: u64| -> Option<u64> {
+            // The whole serial barrier section is Barrier host time;
+            // nested guards (Memsys in resolve_pending, CtaLaunch,
+            // IdleScan, Snapshot below) carve out their own shares.
+            let barrier_phase = hostprof::phase(hostprof::Phase::Barrier);
             let mut any_activity = false;
             {
                 let mut gmem = gmem_lock.write().expect("gmem write lock");
@@ -262,6 +269,7 @@ fn run_epochs_inner(
                     buf.apply_writes(&mut gmem);
                     if *completed > 0 {
                         ctas_done += *completed;
+                        let _fill_phase = hostprof::phase(hostprof::Phase::CtaLaunch);
                         while next_cta < total_ctas
                             && sm.can_accept_cta(warps_per_cta, kernel.shared_mem_bytes())
                         {
@@ -286,6 +294,7 @@ fn run_epochs_inner(
             } else {
                 // Idle: skip ahead to the next pipeline completion or
                 // scoreboard release.
+                let _idle_phase = hostprof::phase(hostprof::Phase::IdleScan);
                 let next_t = slots
                     .iter()
                     .flat_map(|slot| {
@@ -301,6 +310,7 @@ fn run_epochs_inner(
             if snapshot_interval > 0 && tracing {
                 let boundary = new_now / snapshot_interval * snapshot_interval;
                 if boundary > last_snapshot {
+                    let _snap_phase = hostprof::phase(hostprof::Phase::Snapshot);
                     last_snapshot = boundary;
                     for (i, slot) in slots.iter().enumerate() {
                         let s = &slot.lock().expect("slot lock").sm.stats;
@@ -320,6 +330,7 @@ fn run_epochs_inner(
             if let Some(intervals) = new_now.checked_div(sample_interval) {
                 let boundary = intervals * sample_interval;
                 if boundary > last_sample {
+                    let _snap_phase = hostprof::phase(hostprof::Phase::Snapshot);
                     last_sample = boundary;
                     let mut cum = Stats::default();
                     for slot in slots {
@@ -330,6 +341,7 @@ fn run_epochs_inner(
                 }
             }
             assert!(new_now < WATCHDOG_CYCLES, "simulation watchdog tripped");
+            drop(barrier_phase);
             Some(new_now)
         };
         gscalar_pool::run_epochs(threads, cfg.num_sms, 0, work, next);

@@ -3,6 +3,7 @@
 
 use gscalar_compress::regmeta::MetaConfig;
 use gscalar_compress::{bdi, bytewise, Encoding, RegFileMeta};
+use gscalar_hostprof as hostprof;
 use gscalar_isa::{AluOp, Dim3, FuncUnit, Instr, InstrKind, Kernel, Operand, Reg, Space};
 use gscalar_profile::{EligClass, Profiler};
 use gscalar_trace::{ModeKind, StallReason, TraceEvent, Tracer, UnitKind};
@@ -421,6 +422,7 @@ impl Sm {
         profiler: &mut Profiler,
     ) -> usize {
         // 1. Writeback.
+        let wb_phase = hostprof::phase(hostprof::Phase::Writeback);
         let mut finished: Vec<Inflight> = Vec::new();
         for p in &mut self.alu_pipes {
             finished.append(&mut p.drain_finished(now));
@@ -436,17 +438,21 @@ impl Sm {
             self.scoreboards[f.warp].release_at(&f.instr, release);
             self.last_release = self.last_release.max(release);
         }
+        drop(wb_phase);
 
         // 2. Operand collection.
+        let oc_phase = hostprof::phase(hostprof::Phase::OperandCollect);
         let arb = self.oc.arbitrate(&write_banks);
         self.stats.pipe.bank_conflict_cycles += arb.data_conflicts;
         self.stats.pipe.scalar_bank_serializations += arb.scalar_serializations;
         self.stats.pipe.bvr_conflict_cycles += arb.bvr_conflicts;
         let rf_conflict = arb.any_conflict();
+        drop(oc_phase);
 
         // 3. Dispatch ready instructions to pipelines, gated by each
         // pipe's dispatch port (structural backpressure: entries that
         // find no port stay in their operand collector).
+        let dispatch_phase = hostprof::phase(hostprof::Phase::Dispatch);
         let mut alu_free = self
             .alu_pipes
             .iter()
@@ -471,11 +477,15 @@ impl Sm {
         for inst in ready {
             self.dispatch(inst, now, port, tracer, profiler);
         }
+        drop(dispatch_phase);
 
         // 4. Issue from each scheduler.
-        for w in 0..self.warps.len() {
-            if self.warps[w].is_some() {
-                self.scoreboards[w].expire(now);
+        {
+            let _sched_phase = hostprof::phase(hostprof::Phase::Scheduler);
+            for w in 0..self.warps.len() {
+                if self.warps[w].is_some() {
+                    self.scoreboards[w].expire(now);
+                }
             }
         }
         let mut completed_ctas = 0;
@@ -504,10 +514,19 @@ impl Sm {
             trace_pos: _,
         } = p;
         let mut finish = base_finish;
-        for &line in &inst.mem_lines {
-            let t =
-                memsys.access_traced(self.id, line, inst.store, now, &mut self.stats.mem, tracer);
-            finish = finish.max(t);
+        {
+            let _mem_phase = hostprof::phase(hostprof::Phase::Memsys);
+            for &line in &inst.mem_lines {
+                let t = memsys.access_traced(
+                    self.id,
+                    line,
+                    inst.store,
+                    now,
+                    &mut self.stats.mem,
+                    tracer,
+                );
+                finish = finish.max(t);
+            }
         }
         profiler.record_latency(inst.pc, finish.saturating_sub(now));
         let sm_id = self.id as u32;
@@ -573,6 +592,9 @@ impl Sm {
         let oc_free = self.oc.free_slots() > 0;
         let warps = &self.warps;
         let scoreboards = &self.scoreboards;
+        // Warp pick and (on a miss) stall classification are the
+        // scheduler's host cost; the issued path hands off to Execute.
+        let sched_phase = hostprof::phase(hostprof::Phase::Scheduler);
         let picked = self.schedulers[s].pick(|w| {
             let Some(warp) = warps[w].as_ref() else {
                 return false;
@@ -609,7 +631,9 @@ impl Sm {
             });
             return 0;
         };
+        drop(sched_phase);
         self.stats.pipe.issued += 1;
+        let _exec_phase = hostprof::phase(hostprof::Phase::Execute);
         self.execute_instruction(w, s, now, kernel, port, tracer, profiler)
     }
 
@@ -742,7 +766,14 @@ impl Sm {
             mask,
         });
 
-        // Control flow resolves at issue.
+        // Control flow resolves at issue. The SIMT-stack arms below all
+        // return, so the guard covers exactly the control-flow work
+        // (`None` on the fall-through path for other units).
+        let simt_phase = matches!(
+            instr.kind,
+            InstrKind::Bra { .. } | InstrKind::Exit | InstrKind::Bar | InstrKind::Nop
+        )
+        .then(|| hostprof::phase(hostprof::Phase::Simt));
         match instr.kind {
             InstrKind::Bra { target } => {
                 let reconv = kernel.reconvergence_pc(pc);
@@ -820,6 +851,7 @@ impl Sm {
             }
             _ => {}
         }
+        drop(simt_phase);
 
         if mask == 0 {
             // Fully predicated-off: consumes the issue slot only.
@@ -830,6 +862,9 @@ impl Sm {
         }
 
         // ---- operand gathering + classification ----
+        // Register reads run the compression machinery (regmeta, the
+        // byte-wise/BDI comparison chains): Compressor host time.
+        let compress_phase = hostprof::phase(hostprof::Phase::Compressor);
         let ws = self.cfg.warp_size;
         let src_regs = instr.src_regs();
         let mut all_scalar = !matches!(instr.kind, InstrKind::S2R { .. });
@@ -863,6 +898,7 @@ impl Sm {
                 all_chunk_scalar = true;
             }
         }
+        drop(compress_phase);
 
         let unit = instr.func_unit();
         let class = if divergent {
@@ -1058,6 +1094,7 @@ impl Sm {
 
         // Commit the register result functionally and through the
         // compression metadata.
+        let commit_phase = hostprof::phase(hostprof::Phase::Compressor);
         let mut wb_bank = None;
         let mut wb_bvr_only = false;
         if let Some((dst, vals)) = &result {
@@ -1111,6 +1148,7 @@ impl Sm {
                 );
             }
         }
+        drop(commit_phase);
 
         // Advance the PC past this instruction.
         let warp = self.warps[w].as_mut().expect("picked warp exists");
@@ -1330,6 +1368,7 @@ impl Sm {
                     }
                     match port {
                         MemPort::Direct { memsys, .. } => {
+                            let _mem_phase = hostprof::phase(hostprof::Phase::Memsys);
                             for &line in &inst.mem_lines {
                                 let t = memsys.access_traced(
                                     self.id,

@@ -26,9 +26,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use crate::job::{FailureRecord, JobCtx, JobError, JobOutput, JobResult, JobSpec, ResultSet};
+use crate::job::{
+    FailureRecord, JobCtx, JobError, JobId, JobOutput, JobResult, JobSpec, ResultSet,
+};
 use crate::pool::run_indexed;
-use gscalar_metrics::Manifest;
+use gscalar_metrics::{HostProfile, Manifest};
 
 /// Progress reporting mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,6 +112,29 @@ fn job_paths(out_dir: &Path, spec: &JobSpec) -> (PathBuf, PathBuf) {
         dir.join(format!("{}.json", spec.id.unit)),
         dir.join(format!("{}.failure.json", spec.id.unit)),
     )
+}
+
+/// Builds the real-timing side channel written next to a job's
+/// deterministic manifest as `jobs/<exp>/<unit>.host.json`. The main
+/// manifest stays byte-deterministic; actual host wall time rides
+/// here. The resume scan never reads these files, and every metric is
+/// under `host/`, so the side channel can neither perturb determinism
+/// nor gate a regression comparison.
+fn host_manifest(id: &JobId, sim_cycles: u64, wall_s: f64) -> Manifest {
+    let mut m = Manifest::new(format!("{id}.host"));
+    m.host = HostProfile {
+        wall_time_s: wall_s,
+        sim_cycles,
+        cycles_per_host_s: if wall_s > 0.0 {
+            sim_cycles as f64 / wall_s
+        } else {
+            0.0
+        },
+    };
+    m.set("host/wall_time_s", wall_s);
+    m.set("host/sim_cycles", sim_cycles as f64);
+    m.set("host/cycles_per_host_s", m.host.cycles_per_host_s);
+    m
 }
 
 /// Writes `text` to `path` atomically (temp file + rename).
@@ -212,6 +237,10 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
                     if let Some(dir) = cfg.out_dir.as_deref() {
                         let (done_path, fail_path) = job_paths(dir, spec);
                         write_atomic(&done_path, &r.to_manifest().to_json());
+                        write_atomic(
+                            &done_path.with_extension("host.json"),
+                            &host_manifest(&spec.id, r.sim_cycles, wall_s).to_json(),
+                        );
                         // A success supersedes any failure record left
                         // by a previous run.
                         std::fs::remove_file(fail_path).ok();
@@ -391,6 +420,11 @@ mod tests {
         let first = run_sweep(&mk(runs.clone()), &cfg);
         assert_eq!((first.executed, first.resumed), (1, 0));
         assert!(dir.join("jobs/e/j.json").is_file());
+        // Real timing rides in a side channel the resume scan ignores.
+        let host = Manifest::load(&dir.join("jobs/e/j.host.json")).unwrap();
+        assert_eq!(host.bench, "e/j.host");
+        assert_eq!(host.host.sim_cycles, 42);
+        assert!(host.get("host/wall_time_s").is_some());
         let second = run_sweep(&mk(runs.clone()), &cfg);
         assert_eq!((second.executed, second.resumed), (0, 1));
         assert_eq!(runs.load(Ordering::SeqCst), 1, "resume must not re-run");

@@ -217,6 +217,105 @@ pub fn chrome_json(records: &[Record]) -> String {
     out
 }
 
+/// Incremental builder for Chrome trace-event JSON, for callers whose
+/// events are not simulator [`Record`]s — e.g. the host-side
+/// self-profiler's wall-time timeline. Timestamps and durations are in
+/// microseconds, per the trace-event format.
+///
+/// Names and categories are escaped, so arbitrary strings are safe.
+///
+/// # Examples
+///
+/// ```
+/// use gscalar_trace::export::ChromeTraceBuilder;
+///
+/// let mut b = ChromeTraceBuilder::new();
+/// b.complete("run \"BP\"", "host", 0, 1500, 0, 1);
+/// b.counter("steals", 1500, 0, &[("ok", 12.0), ("failed", 3.0)]);
+/// b.instant("flush", 1600, 0, 1);
+/// let json = b.finish();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.ends_with("]}"));
+/// ```
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    out: String,
+    any: bool,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ChromeTraceBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, item: &str) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.any = true;
+        self.out.push_str(item);
+    }
+
+    /// Appends a complete span (`ph:"X"`).
+    pub fn complete(&mut self, name: &str, cat: &str, ts_us: u64, dur_us: u64, pid: u64, tid: u64) {
+        self.push(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us},\
+             \"dur\":{},\"pid\":{pid},\"tid\":{tid}}}",
+            json_escape(name),
+            json_escape(cat),
+            dur_us.max(1)
+        ));
+    }
+
+    /// Appends an instant event (`ph:"i"`, thread scope).
+    pub fn instant(&mut self, name: &str, ts_us: u64, pid: u64, tid: u64) {
+        self.push(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\
+             \"pid\":{pid},\"tid\":{tid}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Appends a counter sample (`ph:"C"`) with one arg per series.
+    pub fn counter(&mut self, name: &str, ts_us: u64, pid: u64, series: &[(&str, f64)]) {
+        let args = series
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.push(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":{pid},\
+             \"args\":{{{args}}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Closes the event array and returns the JSON document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{\"traceEvents\":[{}]}}", self.out)
+    }
+}
+
 /// Renders interval snapshots as a CSV time-series.
 ///
 /// Columns: `cycle,sm` plus cumulative counters and the two derived
@@ -499,6 +598,24 @@ mod tests {
         let json = chrome_json(&[]);
         assert_eq!(json, "{\"traceEvents\":[]}");
         assert_json_shape(&json);
+    }
+
+    #[test]
+    fn trace_builder_escapes_and_balances() {
+        let mut b = ChromeTraceBuilder::new();
+        b.complete("span \"quoted\"\n", "cat\\x", 10, 0, 1, 2);
+        b.instant("mark", 11, 1, 2);
+        b.counter("c", 12, 1, &[("a", 1.5), ("b", 2.0)]);
+        let json = b.finish();
+        assert_json_shape(&json);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"dur\":1")); // zero-length span clamped
+        assert!(json.contains("\"a\":1.5"));
+        assert_eq!(
+            ChromeTraceBuilder::new().finish(),
+            "{\"traceEvents\":[]}",
+            "empty builder"
+        );
     }
 
     #[test]

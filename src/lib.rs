@@ -11,10 +11,12 @@
 //! * [`workloads`] — 17 synthetic Parboil/Rodinia-like benchmarks.
 //! * [`trace`] — cycle-level trace events, sinks, and exporters.
 //! * [`metrics`] — metrics registry, run manifests, regression compare.
+//! * [`hostprof`] — host-side self-profiling (wall-time phase timers).
 //! * [`sweep`] — parallel, fault-isolated experiment-execution engine.
 
 pub use gscalar_compress as compress;
 pub use gscalar_core as core;
+pub use gscalar_hostprof as hostprof;
 pub use gscalar_isa as isa;
 pub use gscalar_metrics as metrics;
 pub use gscalar_power as power;
