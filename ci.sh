@@ -12,6 +12,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "== cargo build --release"
 cargo build --release --workspace --offline
 
@@ -24,6 +27,21 @@ trap 'rm -rf "$tmp"' EXIT
 # Two workers: exercises the parallel sweep path in CI; manifests are
 # schedule-independent, so the baseline compare is unaffected.
 ./target/release/probe --scale test --threads 2 --json "$tmp/probe.json" > /dev/null
+
+echo "== bottleneck smoke (CPI reconciliation, golden manifest, parallel bytes)"
+# The binary exits non-zero when any CPI stack fails exact
+# reconciliation; its deterministic manifest is pinned byte-for-byte
+# against the committed golden and must be byte-identical under the
+# parallel execution engine.
+./target/release/bottleneck --scale test --deterministic \
+    --json "$tmp/bottleneck.json" > /dev/null
+cmp ci/baseline/bottleneck.json "$tmp/bottleneck.json"
+./target/release/bottleneck --scale test --deterministic --sim-threads 4 \
+    --json "$tmp/bottleneck-par.json" > /dev/null
+cmp "$tmp/bottleneck.json" "$tmp/bottleneck-par.json"
+rm "$tmp/bottleneck-par.json" "$tmp/bottleneck-par.host.json"
+
+# Metric-level gate over both smoke manifests (probe + bottleneck).
 ./target/release/report compare ci/baseline "$tmp"
 
 echo "== parallel execution engine (byte-identical manifests)"

@@ -1,0 +1,31 @@
+//! Cycle-accounting analysis over the simulator's telemetry:
+//! **why** a run took the cycles it did, and **what would happen** if a
+//! bottleneck were removed.
+//!
+//! Three layers, all consuming outputs the other observability crates
+//! already produce (no new on-path simulator work):
+//!
+//! * [`CpiStack`] — decomposes every scheduler issue slot into
+//!   base-issue plus six stall components, with a hard reconciliation
+//!   guarantee: the components sum *exactly* to `cycles × ledgers`.
+//!   Built from the per-scheduler [`gscalar_sim::SchedStats`] ledgers.
+//! * [`analyze_trace`] / [`CriticalPath`] — longest stall chains per
+//!   warp, top blocking resources, and (via [`MlpProfile`]) the
+//!   memory-level-parallelism profile from MSHR occupancy samples.
+//! * [`WhatIf`] / [`Projection`] — analytic speedup projections
+//!   (perfect L1, infinite MSHRs, no divergence, zero-latency SFU)
+//!   computed from the CPI stack and *validated* by re-simulating the
+//!   idealization through [`gscalar_sim::IdealConfig`] overrides,
+//!   reporting the projection error per kernel.
+//!
+//! The `bottleneck` experiment binary in `gscalar-bench` drives all
+//! three per suite workload and fails the run when any stack breaches
+//! reconciliation.
+
+pub mod cpi;
+pub mod critical;
+pub mod whatif;
+
+pub use cpi::{CpiStack, ReconcileError, COMPONENT_LABELS};
+pub use critical::{analyze_trace, CriticalPath, MlpProfile, StallChain, WarpStalls};
+pub use whatif::{Projection, WhatIf};

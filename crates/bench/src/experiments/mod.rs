@@ -34,6 +34,7 @@ pub mod abl_future_gpu;
 pub mod abl_half;
 pub mod abl_latency;
 pub mod abl_scheduler;
+pub mod bottleneck;
 pub mod fig01_divergence;
 pub mod fig08_rf_distribution;
 pub mod fig09_scalar_eligibility;
@@ -100,6 +101,10 @@ pub fn all() -> Vec<Experiment> {
         exp!(abl_fast_dispatch, "Extension: one-cycle scalar dispatch"),
         exp!(abl_future_gpu, "Extension: scalar-bank scalability"),
         exp!(probe, "Calibration probe: per-benchmark characteristics"),
+        exp!(
+            bottleneck,
+            "Cycle accounting: CPI stacks, critical path, validated what-ifs"
+        ),
     ]
 }
 
@@ -342,7 +347,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let exps = all();
-        assert_eq!(exps.len(), 17);
+        assert_eq!(exps.len(), 18);
         for e in &exps {
             assert!(by_name(e.name).is_some(), "{} resolves", e.name);
         }

@@ -143,6 +143,39 @@ fn aggregate_covers_every_manifest() {
 }
 
 #[test]
+fn aggregate_separates_host_metrics_from_gated_ones() {
+    let root = std::env::temp_dir().join("gscalar-report-cli-agg-host");
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(
+        root.join("probe.json"),
+        "{\"schema\":1,\"bench\":\"probe\",\"config_digest\":\"abc\",\
+         \"host\":{\"wall_time_s\":1.0,\"sim_cycles\":100,\"cycles_per_host_s\":100.0},\
+         \"metrics\":{\"gpu/cycles\":1000.0,\
+         \"host/phase/execute/ns\":5000000.0,\
+         \"host/pool/steals\":42.0}}",
+    )
+    .unwrap();
+    let out = report(&["aggregate", root.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let info = text
+        .find("### Informational (host timings, not gated)")
+        .unwrap_or_else(|| panic!("no host section: {text}"));
+    // The gated table holds only simulated metrics; the host metrics
+    // follow in their own section instead of being interleaved.
+    assert!(text.find("| gpu/cycles |").unwrap() < info, "got: {text}");
+    assert!(
+        text.find("| host/phase/execute/ns |").unwrap() > info,
+        "got: {text}"
+    );
+    assert!(
+        text.find("| host/pool/steals |").unwrap() > info,
+        "got: {text}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn compare_names_truncated_manifest_and_exits_nonzero() {
     let root = std::env::temp_dir().join("gscalar-report-cli-truncated");
     let base = root.join("base");

@@ -146,6 +146,66 @@ fn sweep_resumes_completed_jobs_and_reexecutes_corrupted_ones() {
 }
 
 #[test]
+fn corrupt_host_side_channels_neither_crash_nor_reexecute_on_resume() {
+    let root = fresh_dir("gscalar-sweep-cli-hostside");
+    let out = root.join("results");
+    let args = [
+        "probe",
+        "--scale",
+        "test",
+        "--threads",
+        "2",
+        "--out",
+        out.to_str().unwrap(),
+    ];
+    assert!(sweep(&args).status.success());
+    let first = read(&out.join("probe.json"));
+
+    // Mangle every `.host.json` timing side channel: truncate one
+    // mid-JSON, fill another with garbage, empty a third. They are not
+    // resume state, so the rerun must resume every job (0 executed) and
+    // render byte-identical output — without crashing on the bad files.
+    let sides: Vec<PathBuf> = std::fs::read_dir(out.join("jobs/probe"))
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".host.json"))
+        })
+        .collect();
+    assert!(
+        !sides.is_empty(),
+        "jobs must write .host.json side channels"
+    );
+    for (i, side) in sides.iter().enumerate() {
+        let text = read(side);
+        match i % 3 {
+            0 => std::fs::write(side, &text[..text.len() / 2]).unwrap(),
+            1 => std::fs::write(side, "definitely not json").unwrap(),
+            _ => std::fs::write(side, "").unwrap(),
+        }
+    }
+    // The top-level render side channel too.
+    std::fs::write(out.join("probe.host.json"), "{trunc").unwrap();
+
+    let o = sweep(&args);
+    assert!(
+        o.status.success(),
+        "resume over corrupt side channels crashed: {}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(
+        err.contains("0 executed"),
+        "side channels must not be resume state: {err}"
+    );
+    assert_eq!(first, read(&out.join("probe.json")));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn panicking_job_is_recorded_and_replaced_on_rerun() {
     use gscalar_sweep::{run_sweep, FailureRecord, JobId, JobOutput, JobSpec, SweepConfig};
 

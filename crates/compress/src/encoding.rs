@@ -109,6 +109,23 @@ impl Encoding {
     pub fn meet(self, other: Encoding) -> Encoding {
         self.min(other)
     }
+
+    /// Category index in Figure 8 order (strongest compression first):
+    /// `Scalar`→0, `B321`→1, `B32`→2, `B3`→3, `None`→4.
+    ///
+    /// This single mapping backs the [`crate::EncodingHistogram`]
+    /// buckets, the `Stats::export` metric names, and the trace
+    /// encoding tag, so the three can never drift apart.
+    #[must_use]
+    pub fn bucket(self) -> usize {
+        match self {
+            Encoding::Scalar => 0,
+            Encoding::B321 => 1,
+            Encoding::B32 => 2,
+            Encoding::B3 => 3,
+            Encoding::None => 4,
+        }
+    }
 }
 
 impl fmt::Display for Encoding {
@@ -183,5 +200,21 @@ mod tests {
     fn display_names() {
         assert_eq!(Encoding::Scalar.to_string(), "scalar");
         assert_eq!(Encoding::B321.to_string(), "3-byte");
+    }
+
+    #[test]
+    fn buckets_are_distinct_and_pin_figure8_order() {
+        // The bucket index doubles as the trace encoding tag and the
+        // histogram slot; pin the exact assignment.
+        assert_eq!(Encoding::Scalar.bucket(), 0);
+        assert_eq!(Encoding::B321.bucket(), 1);
+        assert_eq!(Encoding::B32.bucket(), 2);
+        assert_eq!(Encoding::B3.bucket(), 3);
+        assert_eq!(Encoding::None.bucket(), 4);
+        let mut seen = [false; 5];
+        for e in Encoding::ALL {
+            assert!(!seen[e.bucket()]);
+            seen[e.bucket()] = true;
+        }
     }
 }

@@ -10,50 +10,76 @@ use crate::encoding::Encoding;
 /// Categories follow Figure 8: `scalar`, `3-byte`, `2-byte`, `1-byte`,
 /// `other` (no uniform byte prefix), plus `divergent` for accesses made
 /// by divergent instructions (counted separately regardless of value
-/// similarity, as the paper does).
+/// similarity, as the paper does). The first five buckets are indexed
+/// by [`Encoding::bucket`] — the one mapping shared with the trace
+/// encoding tags — and the sixth is [`EncodingHistogram::DIVERGENT`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EncodingHistogram {
-    /// Accesses to scalar registers.
-    pub scalar: u64,
-    /// Accesses with a uniform 3-byte prefix.
-    pub b3: u64,
-    /// Accesses with a uniform 2-byte prefix.
-    pub b2: u64,
-    /// Accesses with a uniform 1-byte prefix.
-    pub b1: u64,
-    /// Accesses with no uniform prefix.
-    pub other: u64,
-    /// Accesses made by divergent instructions.
-    pub divergent: u64,
+    counts: [u64; 6],
 }
 
 impl EncodingHistogram {
+    /// Bucket index of the divergent category (the only one not
+    /// addressed through [`Encoding::bucket`]).
+    pub const DIVERGENT: usize = 5;
+
+    /// Metric/export labels, index-aligned with the buckets.
+    pub const LABELS: [&'static str; 6] = ["scalar", "b3", "b2", "b1", "other", "divergent"];
+
     /// An empty histogram.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A histogram with explicit per-bucket counts, in bucket order
+    /// (`[scalar, b3, b2, b1, other, divergent]`); mainly for tests.
+    #[must_use]
+    pub fn from_counts(counts: [u64; 6]) -> Self {
+        EncodingHistogram { counts }
+    }
+
     /// Records a non-divergent access with the given encoding.
     pub fn record(&mut self, enc: Encoding) {
-        match enc {
-            Encoding::Scalar => self.scalar += 1,
-            Encoding::B321 => self.b3 += 1,
-            Encoding::B32 => self.b2 += 1,
-            Encoding::B3 => self.b1 += 1,
-            Encoding::None => self.other += 1,
-        }
+        self.counts[enc.bucket()] += 1;
     }
 
     /// Records an access made by a divergent instruction.
     pub fn record_divergent(&mut self) {
-        self.divergent += 1;
+        self.counts[Self::DIVERGENT] += 1;
+    }
+
+    /// Count in bucket `i` (see [`Encoding::bucket`] /
+    /// [`EncodingHistogram::DIVERGENT`]).
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Accesses recorded for `enc` (non-divergent).
+    #[must_use]
+    pub fn count_of(&self, enc: Encoding) -> u64 {
+        self.counts[enc.bucket()]
+    }
+
+    /// Accesses recorded as divergent.
+    #[must_use]
+    pub fn divergent(&self) -> u64 {
+        self.counts[Self::DIVERGENT]
+    }
+
+    /// `(label, count)` pairs in bucket order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Self::LABELS
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(l, c)| (*l, *c))
     }
 
     /// Total accesses recorded.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.scalar + self.b3 + self.b2 + self.b1 + self.other + self.divergent
+        self.counts.iter().sum()
     }
 
     /// Fraction of accesses in each category, in Figure 8 order:
@@ -67,24 +93,14 @@ impl EncodingHistogram {
             return [0.0; 6];
         }
         let t = t as f64;
-        [
-            self.scalar as f64 / t,
-            self.b3 as f64 / t,
-            self.b2 as f64 / t,
-            self.b1 as f64 / t,
-            self.other as f64 / t,
-            self.divergent as f64 / t,
-        ]
+        self.counts.map(|c| c as f64 / t)
     }
 
     /// Adds another histogram into this one.
     pub fn merge(&mut self, other: &EncodingHistogram) {
-        self.scalar += other.scalar;
-        self.b3 += other.b3;
-        self.b2 += other.b2;
-        self.b1 += other.b1;
-        self.other += other.other;
-        self.divergent += other.divergent;
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
     }
 }
 
@@ -117,13 +133,33 @@ mod tests {
         h.record(Encoding::B3); // "1-byte"
         h.record(Encoding::None);
         h.record_divergent();
-        assert_eq!(h.scalar, 1);
-        assert_eq!(h.b3, 1);
-        assert_eq!(h.b2, 1);
-        assert_eq!(h.b1, 1);
-        assert_eq!(h.other, 1);
-        assert_eq!(h.divergent, 1);
+        assert_eq!(h.count_of(Encoding::Scalar), 1);
+        assert_eq!(h.count_of(Encoding::B321), 1);
+        assert_eq!(h.count_of(Encoding::B32), 1);
+        assert_eq!(h.count_of(Encoding::B3), 1);
+        assert_eq!(h.count_of(Encoding::None), 1);
+        assert_eq!(h.divergent(), 1);
         assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn bucket_edges_are_pinned() {
+        // One shared mapping serves the histogram, the metric labels,
+        // and the trace encoding tags: pin index ↔ label ↔ encoding.
+        assert_eq!(
+            EncodingHistogram::LABELS,
+            ["scalar", "b3", "b2", "b1", "other", "divergent"]
+        );
+        assert_eq!(EncodingHistogram::DIVERGENT, 5);
+        let mut h = EncodingHistogram::new();
+        h.record(Encoding::B32);
+        h.record_divergent();
+        assert_eq!(h.count(Encoding::B32.bucket()), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(5), 1);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs[2], ("b2", 1));
+        assert_eq!(pairs[5], ("divergent", 1));
     }
 
     #[test]
@@ -153,8 +189,9 @@ mod tests {
         b.record(Encoding::Scalar);
         b.record_divergent();
         a.merge(&b);
-        assert_eq!(a.scalar, 2);
-        assert_eq!(a.divergent, 1);
+        assert_eq!(a.count_of(Encoding::Scalar), 2);
+        assert_eq!(a.divergent(), 1);
+        assert_eq!(a, EncodingHistogram::from_counts([2, 0, 0, 0, 0, 1]));
     }
 
     #[test]

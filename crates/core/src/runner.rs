@@ -150,8 +150,8 @@ impl RunObserver for BudgetObserver {
 /// architecture configuration, aborting deterministically once the
 /// simulation crosses `budget` cycles (`budget == 0` disables the
 /// check). This is the raw entry point for ablations that build their
-/// own [`ArchConfig`]; see [`Runner::run_budgeted`] for the
-/// arch-variant path.
+/// own [`gscalar_sim::ArchConfig`]; see [`Runner::run_budgeted`] for
+/// the arch-variant path.
 ///
 /// # Errors
 ///

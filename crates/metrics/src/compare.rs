@@ -51,11 +51,21 @@ impl CompareConfig {
         {
             return *t;
         }
-        if path.starts_with("host/") || path.contains("/host/") {
+        if is_host_metric(path) {
             return f64::INFINITY;
         }
         self.default_threshold_pct
     }
+}
+
+/// Whether `path` is a host-side (wall-clock, machine-dependent)
+/// metric: such metrics are informational everywhere — [`compare`]
+/// never gates on them and [`aggregate_markdown`] renders them in a
+/// separate section. Merged `BENCH_*` manifests nest them under the
+/// bench name, hence the infix form.
+#[must_use]
+pub fn is_host_metric(path: &str) -> bool {
+    path.starts_with("host/") || path.contains("/host/")
 }
 
 /// One metric's baseline-vs-current comparison.
@@ -281,11 +291,24 @@ pub fn aggregate_markdown(manifests: &[Manifest]) -> String {
     out.push('\n');
     for m in &sorted {
         out.push_str(&format!("## {}\n\n", m.bench));
+        // Gated (simulated) metrics first; host-side metrics are
+        // informational by construction and get their own subsection
+        // so readers never mistake them for regression-gated values.
+        let (host, gated): (Vec<_>, Vec<_>) =
+            m.metrics.iter().partition(|(path, _)| is_host_metric(path));
         out.push_str("| metric | value |\n|---|---:|\n");
-        for (path, v) in &m.metrics {
+        for (path, v) in gated {
             out.push_str(&format!("| {path} | {v:.6} |\n"));
         }
         out.push('\n');
+        if !host.is_empty() {
+            out.push_str("### Informational (host timings, not gated)\n\n");
+            out.push_str("| metric | value |\n|---|---:|\n");
+            for (path, v) in host {
+                out.push_str(&format!("| {path} | {v:.6} |\n"));
+            }
+            out.push('\n');
+        }
     }
     out
 }
@@ -419,6 +442,30 @@ mod tests {
         assert_eq!(merged.get("b/x"), Some(5.0));
         assert_eq!(merged.host.sim_cycles, 100);
         assert_eq!(merged.bench, "BENCH_baseline");
+    }
+
+    #[test]
+    fn dashboard_renders_host_metrics_in_their_own_section() {
+        let set = vec![manifest(
+            "probe",
+            &[
+                ("gpu/cycles", 1000.0),
+                ("host/phase/execute/ns", 5.0),
+                ("host/pool/steals", 2.0),
+            ],
+        )];
+        let md = aggregate_markdown(&set);
+        let info = md
+            .find("### Informational (host timings, not gated)")
+            .expect("host section present");
+        // Gated metrics come before the host section; host metrics only
+        // after it.
+        assert!(md.find("| gpu/cycles |").unwrap() < info);
+        assert!(md.find("| host/phase/execute/ns |").unwrap() > info);
+        assert!(md.find("| host/pool/steals |").unwrap() > info);
+        // No host metrics → no empty section.
+        let plain = aggregate_markdown(&[manifest("p", &[("gpu/ipc", 1.0)])]);
+        assert!(!plain.contains("Informational"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * [`manifest`] — the [`Manifest`] run-report every bench binary
 //!   emits alongside its text output: config digest, host
 //!   self-profiling, and a flat metric map.
-//! * [`compare`] — baseline-vs-current manifest comparison with
+//! * [`mod@compare`] — baseline-vs-current manifest comparison with
 //!   per-metric thresholds (the regression harness) and the markdown
 //!   dashboard aggregator.
 //!

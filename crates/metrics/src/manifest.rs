@@ -5,7 +5,7 @@
 //! provenance (bench name, config digest, schema version) and host
 //! self-profiling (wall time, simulated cycles per host-second) to
 //! compare runs across commits. The `metrics` map is what
-//! [`compare`](crate::compare) diffs; host numbers are deliberately
+//! [`compare`](crate::compare()) diffs; host numbers are deliberately
 //! kept *outside* it, because wall time is machine-dependent and must
 //! never gate a regression check.
 

@@ -12,8 +12,8 @@
 //! [`PowerTimeline::integrated_energy_pj`] ==
 //! [`total_energy_pj`](crate::model::total_energy_pj) (to floating-point
 //! accumulation error). Both sides draw from the shared
-//! [`component_energies_pj`](crate::model::component_energies_pj)
-//! accounting, so a component added there is telemetered automatically.
+//! [`component_energies_pj`] accounting, so a component added there is
+//! telemetered automatically.
 
 use gscalar_sim::{GpuConfig, RunObserver, Stats};
 

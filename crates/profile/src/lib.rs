@@ -1,7 +1,7 @@
 //! Per-static-instruction (PC-level) profiling for the G-Scalar
 //! simulator — the attribution layer the aggregate counters lack.
 //!
-//! The simulator's [`Stats`] answer *how much* (issued instructions,
+//! The simulator's `Stats` answer *how much* (issued instructions,
 //! stall cycles, scalar executions); this crate answers *where*: which
 //! static instruction is the hotspot, which branch originates the
 //! divergence of the paper's Figure 1, which instructions carry the

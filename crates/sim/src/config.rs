@@ -86,6 +86,33 @@ pub struct GpuConfig {
     /// cycle SM loop over `n` threads. Results are byte-identical at
     /// any value; only wall-clock time changes.
     pub exec_threads: usize,
+    /// What-if idealization knobs (all off for real hardware models).
+    pub ideal: IdealConfig,
+}
+
+/// Idealization overrides for what-if studies (`gscalar-analyze`):
+/// each knob removes one bottleneck from the timing model so an
+/// analytic projection computed from the CPI stack can be validated
+/// against a real re-simulation. All knobs default to off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealConfig {
+    /// Every global load hits in L1 (stores keep their write-through
+    /// timing). Models an infinite, pre-warmed L1.
+    pub perfect_l1: bool,
+    /// Branches never diverge: when any active lane takes a branch,
+    /// every active lane follows it, so the SIMT stack never splits.
+    /// This changes *functional* execution (lanes run instructions they
+    /// would have skipped), which is acceptable for a timing what-if;
+    /// loop exits still converge because forced-active lanes keep
+    /// updating their own induction state.
+    pub uniform_branches: bool,
+    /// Special-function operations complete in a single cycle.
+    pub zero_latency_sfu: bool,
+    /// Unbounded MSHRs. The modeled MSHR file is *already* unbounded
+    /// (misses merge without a capacity limit), so this knob changes
+    /// nothing — it exists so the what-if table can state that fact
+    /// with a measured 1.0× speedup instead of an assumption.
+    pub infinite_mshrs: bool,
 }
 
 /// Pipeline and memory latencies, in SM cycles.
@@ -155,6 +182,7 @@ impl GpuConfig {
                 l2_service: 2,
             },
             exec_threads: default_exec_threads(),
+            ideal: IdealConfig::default(),
         }
     }
 
@@ -321,5 +349,24 @@ mod tests {
         assert!(!a.any_scalar());
         assert!(!a.compression);
         assert_eq!(a.extra_latency, 0);
+    }
+
+    #[test]
+    fn idealizations_default_off() {
+        // Every preset must model the real machine unless a what-if
+        // study explicitly flips a knob.
+        for c in [GpuConfig::gtx480(), GpuConfig::test_small()] {
+            assert_eq!(c.ideal, IdealConfig::default());
+            let IdealConfig {
+                perfect_l1,
+                uniform_branches,
+                zero_latency_sfu,
+                infinite_mshrs,
+            } = c.ideal;
+            assert!(!perfect_l1);
+            assert!(!uniform_branches);
+            assert!(!zero_latency_sfu);
+            assert!(!infinite_mshrs);
+        }
     }
 }

@@ -308,7 +308,15 @@ impl Gpu {
                             .chain((sm.last_release() > now).then(|| sm.last_release()))
                     })
                     .min();
-                now = next.map_or(now + 1, |t| t.max(now + 1));
+                let new_now = next.map_or(now + 1, |t| t.max(now + 1));
+                // The jumped-over cycles were charged to no scheduler;
+                // attribute them in bulk so the per-scheduler CPI ledger
+                // still sums exactly to elapsed cycles.
+                let skipped = new_now - (now + 1);
+                for sm in &mut sms {
+                    sm.charge_idle_skip(skipped);
+                }
+                now = new_now;
             }
             // Interval metrics: cumulative per-SM counters at each
             // boundary crossing. Idle-skip jumps may pass several

@@ -7,7 +7,7 @@
 //! register contents. Timing is modeled per SM cycle:
 //!
 //! * two GTO [schedulers](scheduler) issuing up to one instruction each,
-//! * a per-warp [scoreboard](scoreboard) (RAW/WAW),
+//! * a per-warp [scoreboard] (RAW/WAW),
 //! * a [SIMT reconvergence stack](simt) driven by the kernel's
 //!   post-dominator analysis,
 //! * 16 [operand collectors](regfile) arbitrating over 16 single-ported
@@ -64,10 +64,10 @@ pub mod sm;
 pub mod stats;
 pub mod warp;
 
-pub use config::{ArchConfig, GpuConfig, Latencies};
+pub use config::{ArchConfig, GpuConfig, IdealConfig, Latencies};
 pub use gpu::{Gpu, NullObserver, RunObserver};
 pub use metrics::MetricsObserver;
-pub use stats::{ScalarClass, Stats};
+pub use stats::{ScalarClass, SchedStats, Stats};
 
 /// Re-export of the per-PC profiling handle (see [`gscalar_profile`]).
 pub use gscalar_profile::{KernelProfile, Profiler};

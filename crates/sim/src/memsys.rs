@@ -6,7 +6,8 @@
 //! times, so no per-cycle ticking is needed. Contention appears through
 //! the L2-partition and DRAM-channel service intervals.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use gscalar_trace::{MemLevel, TraceEvent, Tracer};
 
@@ -38,6 +39,15 @@ pub struct MemSystem {
     /// sweep of landed fills; doubles with the live population, so the
     /// sweep cost is O(1) amortized per miss.
     mshr_sweep: Vec<usize>,
+    /// Per-SM min-heap of in-flight fill times, used to count *live*
+    /// outstanding misses at each new miss (the `mshr` map itself may
+    /// carry stale landed entries between amortized sweeps, so its
+    /// length is not the occupancy). Accesses are time-monotonic per
+    /// SM, so popping landed entries from the front keeps the heap
+    /// exact at O(log n) per miss.
+    mshr_live: Vec<BinaryHeap<Reverse<u64>>>,
+    /// What-if idealization: every global load is an L1 hit.
+    perfect_l1: bool,
     l2: Vec<Cache>,
     l2_free: Vec<u64>,
     chan_free: Vec<u64>,
@@ -61,6 +71,8 @@ impl MemSystem {
                 .collect(),
             mshr: (0..cfg.num_sms).map(|_| HashMap::new()).collect(),
             mshr_sweep: vec![MSHR_SWEEP_MIN; cfg.num_sms],
+            mshr_live: (0..cfg.num_sms).map(|_| BinaryHeap::new()).collect(),
+            perfect_l1: cfg.ideal.perfect_l1,
             l2: (0..cfg.mem_channels)
                 .map(|_| Cache::new(l2_part_bytes, cfg.l2_ways, cfg.line_bytes))
                 .collect(),
@@ -130,6 +142,12 @@ impl MemSystem {
             let (_, level) = self.l2_access(sm, line, now, stats, true);
             return (now + self.l1_hit_lat, level);
         }
+        if self.perfect_l1 {
+            // What-if idealization: loads never miss, generate no L2
+            // traffic, and never occupy an MSHR.
+            stats.l1_hits += 1;
+            return (now + self.l1_hit_lat, MemLevel::L1Hit);
+        }
         // MSHR merge: an outstanding fill for this line absorbs the new
         // request (the L1 tag is already allocated by the original miss,
         // so the merge neither re-touches the tags nor counts as a hit
@@ -152,6 +170,15 @@ impl MemSystem {
                 stats.l1_misses += 1;
                 let (ready, level) = self.l2_access(sm, line, now, stats, false);
                 self.mshr[sm].insert(line, ready);
+                // MLP profile: count live outstanding fills, including
+                // the one just allocated. Landed fills pop first, so
+                // stale entries never inflate the sample.
+                let live = &mut self.mshr_live[sm];
+                while live.peek().is_some_and(|&Reverse(t)| t <= now) {
+                    live.pop();
+                }
+                live.push(Reverse(ready));
+                stats.mshr_occupancy.record(live.len() as u64);
                 // Amortized bound on lines that are never re-accessed:
                 // sweep landed fills only when the map outgrows its
                 // threshold, then re-arm at twice the live population.
@@ -325,6 +352,47 @@ mod tests {
         );
         // The traced variant and the plain one share the timing model.
         assert_eq!(s.global_accesses, 3);
+    }
+
+    #[test]
+    fn perfect_l1_short_circuits_loads() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.num_sms = 1;
+        cfg.ideal.perfect_l1 = true;
+        let mut m = MemSystem::new(&cfg);
+        let mut s = MemStats::default();
+        let t = m.access(0, 0xF000, false, 0, &mut s);
+        assert_eq!(t, 32); // cold load completes at L1-hit latency
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.l1_misses, 0);
+        assert_eq!(s.noc_flits, 0);
+        assert_eq!(s.mshr_occupancy.count(), 0);
+        // Stores keep their write-through path and bandwidth cost.
+        m.access(0, 0xF000, true, 0, &mut s);
+        assert!(s.noc_flits > 0);
+    }
+
+    #[test]
+    fn mshr_occupancy_counts_live_fills_only() {
+        let (mut m, mut s) = sys();
+        // Distinct lines in the same partition; two overlapping misses
+        // at t=0 sample occupancies 1 then 2.
+        let stride = 128 * 2;
+        let t1 = m.access(0, 0x8000, false, 0, &mut s);
+        m.access(0, 0x8000 + stride, false, 0, &mut s);
+        assert_eq!(s.mshr_occupancy.count(), 2);
+        assert_eq!(s.mshr_occupancy.sum(), 1 + 2);
+        // Long after both fills land a new miss samples 1 again, even
+        // though the lazily-swept `mshr` map may still hold the stale
+        // entries the occupancy heap already popped.
+        m.access(0, 0x8000 + 2 * stride, false, t1 + 10_000, &mut s);
+        assert_eq!(s.mshr_occupancy.count(), 3);
+        assert_eq!(s.mshr_occupancy.sum(), 4);
+        assert_eq!(s.mshr_occupancy.max(), Some(2));
+        // MSHR merges are not new fills and do not sample.
+        m.access(0, 0x8000 + 2 * stride + 16, false, t1 + 10_001, &mut s);
+        assert_eq!(s.l1_mshr_hits, 1);
+        assert_eq!(s.mshr_occupancy.count(), 3);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Bridges the simulator's [`Stats`] into a
-//! [`MetricsRegistry`](gscalar_metrics::MetricsRegistry).
+//! [`gscalar_metrics::MetricsRegistry`].
 //!
 //! A [`MetricsObserver`] plugs into [`Gpu::run_observed`](crate::Gpu):
 //! during the run it appends interval time-series (IPC, issue count,

@@ -305,7 +305,17 @@ fn run_epochs_inner(
                             .collect::<Vec<_>>()
                     })
                     .min();
-                next_t.map_or(now + 1, |t| t.max(now + 1))
+                let target = next_t.map_or(now + 1, |t| t.max(now + 1));
+                // Mirror the serial engine: attribute the jumped-over
+                // cycles so the per-scheduler CPI ledger stays exact.
+                let skipped = target - (now + 1);
+                if skipped > 0 {
+                    for slot in slots {
+                        let mut guard = slot.lock().expect("slot lock");
+                        guard.sm.charge_idle_skip(skipped);
+                    }
+                }
+                target
             };
             if snapshot_interval > 0 && tracing {
                 let boundary = new_now / snapshot_interval * snapshot_interval;

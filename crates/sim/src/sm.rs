@@ -16,7 +16,7 @@ use crate::pipeline::Pipe;
 use crate::regfile::{OcEntry, OperandCollectors, ReadReq};
 use crate::scheduler::Scheduler;
 use crate::scoreboard::Scoreboard;
-use crate::stats::{ScalarClass, Stats};
+use crate::stats::{ScalarClass, SchedStats, Stats};
 use crate::warp::Warp;
 
 /// How an instruction is executed on its pipeline.
@@ -50,15 +50,11 @@ fn unit_kind(unit: FuncUnit) -> UnitKind {
     }
 }
 
-/// Trace-vocabulary encoding tag for compressor decisions.
+/// Trace-vocabulary encoding tag for compressor decisions — the shared
+/// Figure 8 bucket index, so the tag can never drift from the
+/// `EncodingHistogram` categories.
 fn encoding_tag(enc: Encoding) -> u8 {
-    match enc {
-        Encoding::Scalar => 0,
-        Encoding::B321 => 1,
-        Encoding::B32 => 2,
-        Encoding::B3 => 3,
-        Encoding::None => 4,
-    }
+    enc.bucket() as u8
 }
 
 /// Profiler-vocabulary view of a [`ScalarClass`].
@@ -239,6 +235,11 @@ pub struct Sm {
     num_regs_per_warp: usize,
     /// Latest scheduled scoreboard release (for idle skipping).
     last_release: u64,
+    /// Per-scheduler reason of the most recent stall, used to attribute
+    /// idle-skip jumps (see [`Sm::charge_idle_skip`]). A skip only
+    /// happens after a cycle in which every scheduler stalled, so the
+    /// entry is always fresh when it is read.
+    last_stall: Vec<StallReason>,
     /// Statistics local to this SM.
     pub stats: Stats,
 }
@@ -282,7 +283,11 @@ impl Sm {
             ctas: (0..cfg.ctas_per_sm).map(|_| None).collect(),
             num_regs_per_warp: num_regs_per_warp.max(1),
             last_release: 0,
-            stats: Stats::default(),
+            last_stall: vec![StallReason::Drained; cfg.schedulers],
+            stats: Stats {
+                sched: vec![SchedStats::default(); cfg.schedulers],
+                ..Stats::default()
+            },
         }
     }
 
@@ -412,7 +417,7 @@ impl Sm {
     /// Runs one SM cycle against an arbitrary [`MemPort`]. With a
     /// buffered port the cycle touches no shared state: stores land in
     /// the buffer's overlay and memory-system requests are deferred for
-    /// [`Sm::resolve_pending`] at the epoch barrier.
+    /// `Sm::resolve_pending` at the epoch barrier.
     pub fn cycle_port(
         &mut self,
         now: u64,
@@ -575,6 +580,23 @@ impl Sm {
         self.oc.any_pending()
     }
 
+    /// Charges `skipped` cycles jumped over by the engines' idle-skip
+    /// fast path to each scheduler's most recent stall reason, keeping
+    /// the per-scheduler ledger exact:
+    /// `issued + stalls.total() + skipped.total() == cycles`.
+    ///
+    /// The skipped slots land in [`SchedStats::skipped`], *not* in
+    /// `PipeStats::stalls`, so the cycle-by-cycle invariant
+    /// `stalls.total() == scheduler_idle_cycles` is preserved.
+    pub fn charge_idle_skip(&mut self, skipped: u64) {
+        if skipped == 0 {
+            return;
+        }
+        for (sc, &reason) in self.stats.sched.iter_mut().zip(self.last_stall.iter()) {
+            sc.skipped.add_n(reason, skipped);
+        }
+    }
+
     // ---- issue ---------------------------------------------------------
 
     /// Attempts one issue from scheduler `s`. Returns completed CTAs.
@@ -613,6 +635,8 @@ impl Sm {
             let (reason, culprit) = self.classify_stall(s, now, kernel, rf_conflict);
             self.stats.pipe.scheduler_idle_cycles += 1;
             self.stats.pipe.stalls.add(reason);
+            self.stats.sched[s].stalls.add(reason);
+            self.last_stall[s] = reason;
             if profiler.is_on() {
                 // Charge the idle cycle to the instruction at the head
                 // of the culprit warp; drained cycles have no culprit
@@ -633,6 +657,7 @@ impl Sm {
         };
         drop(sched_phase);
         self.stats.pipe.issued += 1;
+        self.stats.sched[s].issued += 1;
         let _exec_phase = hostprof::phase(hostprof::Phase::Execute);
         self.execute_instruction(w, s, now, kernel, port, tracer, profiler)
     }
@@ -777,16 +802,28 @@ impl Sm {
         match instr.kind {
             InstrKind::Bra { target } => {
                 let reconv = kernel.reconvergence_pc(pc);
+                // What-if idealization: uniform branches. When any lane
+                // takes the branch the whole active path follows it, so
+                // the SIMT stack never splits. This changes functional
+                // execution (see `IdealConfig::uniform_branches`); loops
+                // still terminate because their exit condition is
+                // "no lane takes the back-edge", which forced-uniform
+                // execution reaches once every lane's trip count drains.
+                let bra_mask = if self.cfg.ideal.uniform_branches && mask != 0 {
+                    path_mask
+                } else {
+                    mask
+                };
                 let depth_before = warp.simt.depth();
-                let diverged = warp.simt.branch(mask, target, pc + 1, reconv);
-                profiler.record_branch(pc, diverged, lanes, (path_mask & !mask).count_ones());
+                let diverged = warp.simt.branch(bra_mask, target, pc + 1, reconv);
+                profiler.record_branch(pc, diverged, lanes, (path_mask & !bra_mask).count_ones());
                 drain_path_events(profiler, &warp.simt);
                 if tracer.is_on() && !warp.simt.is_done() {
                     let depth = warp.simt.depth() as u32;
                     let next_pc = warp.simt.pc() as u32;
                     if diverged {
-                        let taken = mask;
-                        let not_taken = path_mask & !mask;
+                        let taken = bra_mask;
+                        let not_taken = path_mask & !bra_mask;
                         tracer.emit_with(now, || TraceEvent::SimtPush {
                             sm: sm_id,
                             warp: w as u32,
@@ -1343,7 +1380,13 @@ impl Sm {
                 } else {
                     self.sfu_pipe.occupancy(threads)
                 };
-                let latency = self.cfg.lat.sfu + inst.extra_latency;
+                // What-if idealization: a zero-latency SFU still occupies
+                // its dispatch port but completes in a single cycle.
+                let latency = if self.cfg.ideal.zero_latency_sfu {
+                    1
+                } else {
+                    self.cfg.lat.sfu + inst.extra_latency
+                };
                 profiler.record_latency(inst.pc, occupancy.max(1) + latency);
                 tracer.emit_with(now, || span(&inst, now + occupancy.max(1) + latency));
                 self.sfu_pipe.dispatch(now, occupancy, latency, inst);

@@ -1,6 +1,7 @@
 //! Simulation statistics: everything the paper's figures are built from.
 
 use gscalar_compress::EncodingHistogram;
+use gscalar_metrics::Histogram;
 use gscalar_trace::StallBreakdown;
 
 /// Scalar-execution eligibility classes, matching the cumulative
@@ -196,6 +197,12 @@ pub struct MemStats {
     pub noc_flits: u64,
     /// Memory warp instructions whose lanes coalesced to one line.
     pub fully_coalesced: u64,
+    /// Outstanding L1 misses (live MSHR entries) observed at each new
+    /// miss allocation — the memory-level-parallelism profile that
+    /// `gscalar-analyze` turns into an MLP estimate. One sample per L1
+    /// miss, taken *after* the new entry is added, so an isolated miss
+    /// records 1.
+    pub mshr_occupancy: Histogram,
 }
 
 /// Pipeline/front-end counters.
@@ -220,6 +227,41 @@ pub struct PipeStats {
     pub stalls: StallBreakdown,
 }
 
+/// Per-scheduler issue-slot accounting: the cycle-exact ledger behind
+/// `gscalar-analyze`'s CPI stacks.
+///
+/// Every simulated cycle charges exactly one slot per scheduler —
+/// either an issue or a classified stall — and idle-skip jumps charge
+/// the skipped gap to the reason the scheduler last stalled for (kept
+/// in a separate `skipped` breakdown so the PR 1 invariant
+/// `PipeStats::stalls.total() == scheduler_idle_cycles` is untouched).
+/// The accounting identity, per SM and scheduler:
+///
+/// ```text
+/// issued + stalls.total() + skipped.total() == Stats::cycles
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Instructions this scheduler issued.
+    pub issued: u64,
+    /// Per-reason stall slots charged cycle-by-cycle (this scheduler's
+    /// share of `PipeStats::stalls`).
+    pub stalls: StallBreakdown,
+    /// Per-reason slots charged in bulk when the idle-skip fast path
+    /// jumps over cycles no scheduler could use; attributed to the
+    /// scheduler's most recent stall reason.
+    pub skipped: StallBreakdown,
+}
+
+impl SchedStats {
+    /// Total issue slots this scheduler accounted for (equals elapsed
+    /// cycles for a single SM's ledger).
+    #[must_use]
+    pub fn slots(&self) -> u64 {
+        self.issued + self.stalls.total() + self.skipped.total()
+    }
+}
+
 /// Complete statistics for one simulated kernel run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
@@ -235,6 +277,11 @@ pub struct Stats {
     pub mem: MemStats,
     /// Pipeline counters.
     pub pipe: PipeStats,
+    /// Per-scheduler issue-slot ledgers (indexed by scheduler id;
+    /// empty only for a default-constructed `Stats`). Merging across
+    /// SMs sums element-wise, so a merged ledger's `slots()` equals
+    /// `cycles × SMs` per scheduler.
+    pub sched: Vec<SchedStats>,
 }
 
 impl Stats {
@@ -268,7 +315,7 @@ impl Stats {
         }
     }
 
-    /// Exports every counter into a metrics [`Scope`] under hierarchical
+    /// Exports every counter into a [`gscalar_metrics::Scope`] under hierarchical
     /// paths (`instr/…`, `rf/…`, `exec/…`, `mem/…`, `pipe/…`).
     ///
     /// Like [`Stats::merge`], every sub-struct is exhaustively
@@ -282,6 +329,7 @@ impl Stats {
             exec,
             mem,
             pipe,
+            sched,
         } = self;
         scope.counter_add("cycles", *cycles);
         scope.gauge_set("ipc", self.ipc());
@@ -358,21 +406,10 @@ impl Stats {
         s.counter_add("raw_bytes", *raw_bytes);
         s.counter_add("ours_bytes", *ours_bytes);
         s.counter_add("bdi_bytes", *bdi_bytes);
-        let EncodingHistogram {
-            scalar,
-            b3,
-            b2,
-            b1,
-            other,
-            divergent,
-        } = histogram;
         let mut h = s.scope("encoding");
-        h.counter_add("scalar", *scalar);
-        h.counter_add("b3", *b3);
-        h.counter_add("b2", *b2);
-        h.counter_add("b1", *b1);
-        h.counter_add("other", *other);
-        h.counter_add("divergent", *divergent);
+        for (label, count) in histogram.iter() {
+            h.counter_add(label, count);
+        }
 
         let ExecStats {
             int_lane_ops,
@@ -400,6 +437,7 @@ impl Stats {
             shared_accesses,
             noc_flits,
             fully_coalesced,
+            mshr_occupancy,
         } = mem;
         let mut s = scope.scope("mem");
         s.counter_add("global_accesses", *global_accesses);
@@ -411,6 +449,7 @@ impl Stats {
         s.counter_add("shared_accesses", *shared_accesses);
         s.counter_add("noc_flits", *noc_flits);
         s.counter_add("fully_coalesced", *fully_coalesced);
+        s.histogram_merge("mshr_occupancy", mshr_occupancy);
 
         let PipeStats {
             issued,
@@ -432,6 +471,25 @@ impl Stats {
         for (reason, count) in stalls.iter() {
             st.counter_add(reason.label(), count);
         }
+
+        let mut s = scope.scope("sched");
+        for (i, sc) in sched.iter().enumerate() {
+            let SchedStats {
+                issued,
+                stalls,
+                skipped,
+            } = sc;
+            let mut s = s.scope(&i.to_string());
+            s.counter_add("issued", *issued);
+            let mut st = s.scope("stall");
+            for (reason, count) in stalls.iter() {
+                st.counter_add(reason.label(), count);
+            }
+            let mut sk = s.scope("skipped");
+            for (reason, count) in skipped.iter() {
+                sk.counter_add(reason.label(), count);
+            }
+        }
     }
 
     /// Merges another run's statistics (used to aggregate across SMs).
@@ -447,6 +505,7 @@ impl Stats {
             exec,
             mem,
             pipe,
+            sched,
         } = o;
         self.cycles = self.cycles.max(*cycles);
 
@@ -548,6 +607,7 @@ impl Stats {
             shared_accesses,
             noc_flits,
             fully_coalesced,
+            mshr_occupancy,
         } = mem;
         let m = &mut self.mem;
         m.global_accesses += global_accesses;
@@ -559,6 +619,7 @@ impl Stats {
         m.shared_accesses += shared_accesses;
         m.noc_flits += noc_flits;
         m.fully_coalesced += fully_coalesced;
+        m.mshr_occupancy.merge(mshr_occupancy);
 
         let PipeStats {
             issued,
@@ -577,6 +638,22 @@ impl Stats {
         p.scalar_bank_serializations += scalar_bank_serializations;
         p.bvr_conflict_cycles += bvr_conflict_cycles;
         p.stalls.merge(stalls);
+
+        // Element-wise per-scheduler merge; a default-constructed
+        // destination grows to the source's scheduler count.
+        if self.sched.len() < sched.len() {
+            self.sched.resize(sched.len(), SchedStats::default());
+        }
+        for (d, s) in self.sched.iter_mut().zip(sched.iter()) {
+            let SchedStats {
+                issued,
+                stalls,
+                skipped,
+            } = s;
+            d.issued += issued;
+            d.stalls.merge(stalls);
+            d.skipped.merge(skipped);
+        }
     }
 }
 
@@ -632,6 +709,12 @@ mod tests {
         // fails to compile.
         let mut stalls = StallBreakdown::default();
         stalls.add(gscalar_trace::StallReason::MemPending);
+        let mut mshr_occupancy = Histogram::default();
+        mshr_occupancy.record(3);
+        let mut sched_stalls = StallBreakdown::default();
+        sched_stalls.add(gscalar_trace::StallReason::Scoreboard);
+        let mut sched_skipped = StallBreakdown::default();
+        sched_skipped.add_n(gscalar_trace::StallReason::Drained, 60);
         let src = Stats {
             cycles: 1,
             instr: InstrStats {
@@ -668,14 +751,7 @@ mod tests {
                 raw_bytes: 30,
                 ours_bytes: 31,
                 bdi_bytes: 32,
-                histogram: EncodingHistogram {
-                    scalar: 33,
-                    b3: 34,
-                    b2: 35,
-                    b1: 36,
-                    other: 37,
-                    divergent: 38,
-                },
+                histogram: EncodingHistogram::from_counts([33, 34, 35, 36, 37, 38]),
             },
             exec: ExecStats {
                 int_lane_ops: 39,
@@ -695,6 +771,7 @@ mod tests {
                 shared_accesses: 50,
                 noc_flits: 51,
                 fully_coalesced: 52,
+                mshr_occupancy,
             },
             pipe: PipeStats {
                 issued: 53,
@@ -705,6 +782,11 @@ mod tests {
                 bvr_conflict_cycles: 58,
                 stalls,
             },
+            sched: vec![SchedStats {
+                issued: 59,
+                stalls: sched_stalls,
+                skipped: sched_skipped,
+            }],
         };
         let mut dst = Stats::default();
         dst.merge(&src);
@@ -713,9 +795,14 @@ mod tests {
         dst.merge(&src);
         assert_eq!(dst.cycles, 1);
         assert_eq!(dst.instr.warp_instrs, 4);
-        assert_eq!(dst.rf.histogram.divergent, 76);
+        assert_eq!(dst.rf.histogram.divergent(), 76);
         assert_eq!(dst.pipe.stalls.total(), 2);
         assert_eq!(dst.pipe.bvr_conflict_cycles, 116);
+        assert_eq!(dst.mem.mshr_occupancy.count(), 2);
+        assert_eq!(dst.mem.mshr_occupancy.sum(), 6);
+        assert_eq!(dst.sched.len(), 1);
+        assert_eq!(dst.sched[0].issued, 118);
+        assert_eq!(dst.sched[0].slots(), 2 * (59 + 1 + 60));
     }
 
     #[test]

@@ -134,6 +134,12 @@ impl StallBreakdown {
         self.counts[reason.index()] += 1;
     }
 
+    /// Charges `n` cycles to `reason` at once (idle-skip jumps charge
+    /// a whole gap to the last classified reason in one call).
+    pub fn add_n(&mut self, reason: StallReason, n: u64) {
+        self.counts[reason.index()] += n;
+    }
+
     /// Cycles charged to `reason`.
     #[must_use]
     pub fn get(&self, reason: StallReason) -> u64 {
@@ -595,6 +601,19 @@ mod tests {
         assert_eq!(a.get(StallReason::Drained), 0);
         let sum: u64 = a.iter().map(|(_, n)| n).sum();
         assert_eq!(sum, a.total());
+    }
+
+    #[test]
+    fn add_n_matches_repeated_add() {
+        let mut a = StallBreakdown::default();
+        let mut b = StallBreakdown::default();
+        for _ in 0..17 {
+            a.add(StallReason::Barrier);
+        }
+        b.add_n(StallReason::Barrier, 17);
+        b.add_n(StallReason::Drained, 0);
+        assert_eq!(a, b);
+        assert_eq!(b.total(), 17);
     }
 
     #[test]

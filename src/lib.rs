@@ -13,7 +13,9 @@
 //! * [`metrics`] — metrics registry, run manifests, regression compare.
 //! * [`hostprof`] — host-side self-profiling (wall-time phase timers).
 //! * [`sweep`] — parallel, fault-isolated experiment-execution engine.
+//! * [`analyze`] — CPI stacks, critical-path attribution, what-if projections.
 
+pub use gscalar_analyze as analyze;
 pub use gscalar_compress as compress;
 pub use gscalar_core as core;
 pub use gscalar_hostprof as hostprof;
