@@ -84,6 +84,29 @@ cmp "$tmp/serial-probe.json" "$tmp/hp-t4.json"
 test -s "$tmp/hp-t1.host.json"
 rm "$tmp"/hp-t[124].json "$tmp"/hp-t[124].host.json
 
+echo "== live telemetry (stream advisory, manifests byte-identical)"
+# --live must never change simulated results: deterministic manifests
+# stay byte-identical to the plain serial run, serially and under the
+# parallel execution engine. The stream itself must parse strictly
+# line-by-line with at least one snapshot and a terminal record
+# (`watch check`), and the dashboard must render from the file.
+# Subdirectory: compare globs over $tmp/*.json must never see these.
+mkdir -p "$tmp/live"
+./target/release/probe --scale test --deterministic \
+    --live "$tmp/live/probe.ndjson" --live-interval 256 \
+    --json "$tmp/live/live-on.json" > /dev/null
+cmp "$tmp/serial-probe.json" "$tmp/live/live-on.json"
+./target/release/probe --scale test --deterministic --sim-threads 4 \
+    --live "$tmp/live/probe-par.ndjson" --live-interval 256 \
+    --json "$tmp/live/live-par.json" > /dev/null
+cmp "$tmp/serial-probe.json" "$tmp/live/live-par.json"
+./target/release/watch check "$tmp/live/probe.ndjson" > /dev/null
+./target/release/watch check "$tmp/live/probe-par.ndjson" > /dev/null
+# Capture first: grep -q closing the pipe early would SIGPIPE the
+# renderer under pipefail.
+frame=$(./target/release/watch "$tmp/live/probe.ndjson" --once)
+grep -q "records" <<< "$frame"
+
 echo "== throughput smoke + trend (informational, never gates)"
 # Wall-clock throughput is machine-dependent; the compare against the
 # committed trend file prints deltas (host/* is informational in the

@@ -17,7 +17,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use gscalar_bench::load_manifests;
-use gscalar_metrics::{aggregate_markdown, compare, CompareConfig};
+use gscalar_metrics::{aggregate_markdown, compare, dropped_event_warnings, CompareConfig};
 
 fn usage() -> ExitCode {
     eprintln!("usage: report aggregate <dir|file> [--merge <out.json>]");
@@ -47,6 +47,9 @@ fn aggregate_cmd(args: &[String]) -> ExitCode {
         }
     };
     print!("{}", aggregate_markdown(&manifests));
+    for w in dropped_event_warnings(&manifests) {
+        eprintln!("report: {w}");
+    }
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         if a == "--merge" {

@@ -36,6 +36,9 @@ struct Options {
     budget: u64,
     retries: u32,
     out: Option<PathBuf>,
+    live: Option<String>,
+    live_interval: u64,
+    deterministic: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +53,9 @@ fn parse_args() -> Result<Options, String> {
         budget: 0,
         retries: 1,
         out: None,
+        live: None,
+        live_interval: gscalar_live::DEFAULT_SNAPSHOT_INTERVAL,
+        deterministic: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -85,6 +91,13 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--retries: {e}"))?;
             }
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+            "--live" => o.live = Some(value("--live")?),
+            "--live-interval" => {
+                o.live_interval = value("--live-interval")?
+                    .parse()
+                    .map_err(|e| format!("--live-interval: {e}"))?;
+            }
+            "--deterministic" => o.deterministic = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other} (see sweep --list)"));
             }
@@ -127,7 +140,37 @@ fn run() -> Result<ExitCode, String> {
         }
         return Ok(ExitCode::SUCCESS);
     }
-    let exps = select(&o)?;
+    // Live telemetry is advisory: run snapshots stream through the
+    // globally installed handle, sweep lifecycle events through
+    // `SweepConfig::live`. Closed (flushing the terminal `stream_end`)
+    // whether the sweep succeeds or fails.
+    let live = match &o.live {
+        None => None,
+        Some(target) => Some(
+            gscalar_live::open_target(
+                target,
+                gscalar_live::StreamConfig {
+                    deterministic: o.deterministic,
+                    snapshot_interval: o.live_interval,
+                    ..gscalar_live::StreamConfig::default()
+                },
+            )
+            .map_err(|e| format!("--live: {e}"))?,
+        ),
+    };
+    if let Some(h) = &live {
+        gscalar_live::install(h.clone());
+    }
+    let result = run_selected(&o, live.clone());
+    if let Some(h) = live {
+        gscalar_live::uninstall();
+        h.close();
+    }
+    result
+}
+
+fn run_selected(o: &Options, live: Option<gscalar_live::LiveHandle>) -> Result<ExitCode, String> {
+    let exps = select(o)?;
 
     // Simulator-level parallelism (within one job) on top of job-level
     // parallelism; byte-identical results make the combination safe.
@@ -158,6 +201,7 @@ fn run() -> Result<ExitCode, String> {
         out_dir: o.out.clone(),
         max_retries: o.retries,
         progress: Progress::PerJob,
+        live,
     };
     eprintln!(
         "sweep: {} jobs across {} experiments on {} thread(s)",

@@ -7,6 +7,9 @@
 //!
 //! # Trace a suite workload by paper abbreviation:
 //! cargo run --release --bin trace -- BP
+//!
+//! # Also write a run manifest (records `trace/dropped_events`):
+//! cargo run --release --bin trace -- BP --json results/trace.json
 //! ```
 //!
 //! Outputs (in the current directory, prefix `trace_<name>`):
@@ -21,11 +24,17 @@
 //!
 //! The stall report printed at the end checks the taxonomy invariant:
 //! the per-reason counts must sum exactly to `scheduler_idle_cycles`.
+//!
+//! When the event ring overflows (capacity-bounded; oldest records are
+//! evicted) the drop count lands in the manifest as
+//! `trace/dropped_events` and a warning goes to stderr — `report
+//! aggregate` surfaces the same warning over a whole results set.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
+use gscalar_bench::{experiments::CliOptions, Report};
 use gscalar_core::{Arch, Runner};
 use gscalar_sim::GpuConfig;
 use gscalar_trace::export::{
@@ -42,9 +51,13 @@ const CAPACITY: usize = 1 << 20;
 const SNAPSHOT_INTERVAL: u64 = 64;
 
 fn main() -> ExitCode {
-    let arg = env::args().nth(1);
-    let workload = match arg.as_deref() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let opts = CliOptions::parse(args.iter().cloned());
+    let abbr = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let workload = match abbr.as_deref() {
         None | Some("DIV") => divergent_example(),
+        // Tracing always uses test scale: the ring holds a bounded
+        // window and full-scale traces would mostly be dropped anyway.
         Some(abbr) => match by_abbr(abbr, Scale::Test) {
             Some(w) => w,
             None => {
@@ -60,6 +73,9 @@ fn main() -> ExitCode {
     let report = runner.run_traced(&workload, Arch::GScalar, &mut tracer, SNAPSHOT_INTERVAL);
     let stats = &report.stats;
 
+    // The drop count must be read before the ring is consumed; it is
+    // the only signal that the exports below are missing records.
+    let dropped = buf.dropped();
     let records = buf.into_records();
     let prefix = format!("trace_{}", workload.name);
     let json_path = format!("{prefix}.json");
@@ -91,6 +107,19 @@ fn main() -> ExitCode {
         stats.pipe.issued,
     );
     println!("{rep}");
+
+    if dropped > 0 {
+        eprintln!(
+            "trace: ring dropped {dropped} event(s); exported traces are \
+             truncated (oldest records evicted; capacity {CAPACITY})"
+        );
+    }
+    let mut manifest = Report::from_options("trace", &opts);
+    manifest.record_run(&workload.abbr, &report);
+    manifest.metric("trace/dropped_events", dropped as f64);
+    manifest.metric("trace/events", records.len() as f64);
+    manifest.finish();
+
     if stats.pipe.stalls.total() == stats.pipe.scheduler_idle_cycles {
         ExitCode::SUCCESS
     } else {

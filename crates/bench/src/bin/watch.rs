@@ -1,0 +1,205 @@
+//! Live terminal dashboard over a telemetry stream.
+//!
+//! ```text
+//! watch results/live.ndjson              # tail a stream file
+//! watch 127.0.0.1:7878                   # subscribe to an SSE server
+//! watch results/live.ndjson --once       # render once and exit
+//! watch check results/live.ndjson        # strict validation (CI gate)
+//! ```
+//!
+//! File mode tails by byte offset (partial trailing lines are kept
+//! pending until their newline arrives), re-rendering every
+//! `--interval-ms` until the stream's terminal record. Socket mode
+//! connects to the in-process SSE server (`GET /runs/all/stream`) and
+//! renders on every delivered record. `check` parses every line
+//! strictly, prints per-type record counts, and exits nonzero unless
+//! the stream holds at least one snapshot and one terminal record —
+//! the assertion CI runs on smoke streams.
+
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gscalar_live::Dashboard;
+
+/// Render width; fixed so output is stable across terminals.
+const WIDTH: usize = 80;
+
+const USAGE: &str = "usage:
+  watch <file|addr> [--once] [--interval-ms N]   render a live dashboard
+  watch check <file>                             validate a stream (CI gate)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("watch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    let Some(first) = it.next() else {
+        return Err(USAGE.into());
+    };
+    if first == "check" {
+        let path = it
+            .next()
+            .ok_or_else(|| format!("check expects a file\n{USAGE}"))?;
+        return check(Path::new(path));
+    }
+    let mut once = false;
+    let mut interval_ms: u64 = 250;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--interval-ms expects a number")?;
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    match first.parse::<SocketAddr>() {
+        Ok(addr) => watch_socket(addr, once),
+        Err(_) => watch_file(Path::new(first), once, interval_ms),
+    }
+}
+
+/// Strict stream validation: every line must parse, and the stream must
+/// contain at least one interval snapshot and one terminal record.
+fn check(path: &Path) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut dash = Dashboard::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        dash.feed_line(line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+    }
+    let counts = dash.counts();
+    for (ty, n) in counts {
+        println!("{ty:<12} {n}");
+    }
+    let snapshots = counts.get("snapshot").copied().unwrap_or(0);
+    let terminals = ["run_end", "sweep_end", "stream_end"]
+        .iter()
+        .map(|t| counts.get(t).copied().unwrap_or(0))
+        .sum::<u64>();
+    if snapshots == 0 {
+        return Err(format!("{}: no snapshot records", path.display()));
+    }
+    if terminals == 0 {
+        return Err(format!("{}: no terminal record", path.display()));
+    }
+    println!("ok: {snapshots} snapshot(s), {terminals} terminal record(s)");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Redraw: clear screen, home the cursor, print the dashboard.
+fn draw(dash: &Dashboard) {
+    print!("\x1b[2J\x1b[H{}", dash.render(WIDTH));
+    let _ = std::io::stdout().flush();
+}
+
+fn watch_file(path: &Path, once: bool, interval_ms: u64) -> Result<ExitCode, String> {
+    let mut dash = Dashboard::new();
+    let mut offset: u64 = 0;
+    let mut pending = String::new();
+    let mut bad_lines: u64 = 0;
+    loop {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut chunk = String::new();
+        let read = std::io::Read::read_to_string(&mut f, &mut chunk)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        offset += read as u64;
+        pending.push_str(&chunk);
+        // Feed every complete line; keep a partial trailing line for
+        // the next poll.
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim_end();
+            if !line.is_empty() && dash.feed_line(line).is_err() {
+                bad_lines += 1;
+            }
+        }
+        if once {
+            println!("{}", dash.render(WIDTH));
+            break;
+        }
+        draw(&dash);
+        if dash.ended() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(1)));
+    }
+    if bad_lines > 0 {
+        eprintln!("watch: {bad_lines} unparseable line(s) skipped");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn watch_socket(addr: SocketAddr, once: bool) -> Result<ExitCode, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+    writer
+        .write_all(format!("GET /runs/all/stream HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    // Drain the HTTP response headers.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        if n == 0 || line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut dash = Dashboard::new();
+    let mut bad_lines: u64 = 0;
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        if n == 0 {
+            break; // server went away
+        }
+        let trimmed = line.trim_end();
+        if trimmed.starts_with("event: end") {
+            break;
+        }
+        if let Some(payload) = trimmed.strip_prefix("data: ") {
+            if dash.feed_line(payload).is_err() {
+                bad_lines += 1;
+            }
+            if !once {
+                draw(&dash);
+            }
+        }
+        if dash.ended() {
+            break;
+        }
+    }
+    if once {
+        println!("{}", dash.render(WIDTH));
+    } else {
+        draw(&dash);
+    }
+    if bad_lines > 0 {
+        eprintln!("watch: {bad_lines} unparseable line(s) skipped");
+    }
+    Ok(ExitCode::SUCCESS)
+}

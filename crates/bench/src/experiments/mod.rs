@@ -16,6 +16,7 @@
 //! both drive experiments through this registry, so there is exactly
 //! one code path producing every figure and table.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use gscalar_core::{Arch, BudgetExceeded, RunReport, Runner, Workload};
@@ -222,7 +223,13 @@ impl JobSim {
 }
 
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy)]
+///
+/// This is the *single* parser for the flag set the binaries share —
+/// `--scale`, `--threads`, `--budget`, `--sim-threads`, `--hostprof`,
+/// `--json`, `--deterministic`, `--live`, `--live-interval` — so no
+/// binary re-implements flag handling. [`Report::from_args`] delegates
+/// here too.
+#[derive(Debug, Clone)]
 pub struct CliOptions {
     /// Workload scale (`--scale test|full`, default full).
     pub scale: Scale,
@@ -237,12 +244,24 @@ pub struct CliOptions {
     /// Host-side self-profiling (`--hostprof`, default off). Purely
     /// observational: simulated results are byte-identical either way.
     pub hostprof: bool,
+    /// Manifest output (`--json [path]`): `None` = no manifest,
+    /// `Some(None)` = default path (`results/<bench>.json`),
+    /// `Some(Some(p))` = explicit path.
+    pub json: Option<Option<PathBuf>>,
+    /// Deterministic output (`--deterministic`): zero wall-clock fields
+    /// in manifests and in the live telemetry stream.
+    pub deterministic: bool,
+    /// Live telemetry target (`--live <path|addr>`): an NDJSON file
+    /// path, or a socket address to serve SSE on. Purely observational;
+    /// simulated results are byte-identical either way.
+    pub live: Option<String>,
+    /// Minimum cycles between live snapshots (`--live-interval N`,
+    /// default [`gscalar_live::DEFAULT_SNAPSHOT_INTERVAL`]).
+    pub live_interval: u64,
 }
 
 impl CliOptions {
-    /// Parses the options from `args`, ignoring flags owned by
-    /// [`Report::from_args`] (`--json`, `--deterministic`) and anything
-    /// else unknown.
+    /// Parses the options from `args`, ignoring anything unknown.
     pub fn parse<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -254,8 +273,12 @@ impl CliOptions {
             budget: 0,
             sim_threads: 1,
             hostprof: false,
+            json: None,
+            deterministic: false,
+            live: None,
+            live_interval: gscalar_live::DEFAULT_SNAPSHOT_INTERVAL,
         };
-        let mut it = args.into_iter().map(Into::into);
+        let mut it = args.into_iter().map(Into::into).peekable();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => {
@@ -279,10 +302,58 @@ impl CliOptions {
                     }
                 }
                 "--hostprof" => o.hostprof = true,
+                "--json" => {
+                    // The path operand is optional: `--json --scale ...`
+                    // means "default path".
+                    o.json = Some(match it.peek() {
+                        Some(p) if !p.starts_with("--") => Some(PathBuf::from(it.next().unwrap())),
+                        _ => None,
+                    });
+                }
+                "--deterministic" => o.deterministic = true,
+                "--live" => o.live = it.next(),
+                "--live-interval" => {
+                    if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                        o.live_interval = n;
+                    }
+                }
                 _ => {}
             }
         }
         o
+    }
+
+    /// Resolves the manifest path for `bench` (`None` when `--json` was
+    /// not given; the default is `results/<bench>.json`).
+    #[must_use]
+    pub fn json_path(&self, bench: &str) -> Option<PathBuf> {
+        self.json.as_ref().map(|p| match p {
+            Some(path) => path.clone(),
+            None => PathBuf::from(format!("results/{bench}.json")),
+        })
+    }
+
+    /// Opens the `--live` telemetry target, if any: a file path gets an
+    /// NDJSON stream, a socket address an SSE server. The stream
+    /// inherits `--deterministic` (wall-clock redaction) and
+    /// `--live-interval`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file or socket cannot be opened.
+    pub fn open_live(&self) -> Result<Option<gscalar_live::LiveHandle>, String> {
+        let Some(target) = &self.live else {
+            return Ok(None);
+        };
+        gscalar_live::open_target(
+            target,
+            gscalar_live::StreamConfig {
+                deterministic: self.deterministic,
+                snapshot_interval: self.live_interval,
+                ..gscalar_live::StreamConfig::default()
+            },
+        )
+        .map(Some)
     }
 }
 
@@ -299,6 +370,30 @@ pub fn main_single(name: &str) -> ExitCode {
     // parallel engine is byte-identical to serial at any thread count.
     gscalar_sim::config::set_default_exec_threads(opts.sim_threads);
     gscalar_hostprof::set_enabled(opts.hostprof);
+    let live = match opts.open_live() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{name}: --live: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(h) = &live {
+        gscalar_live::install(h.clone());
+    }
+    let code = run_single(&exp, &opts, live.clone());
+    if let Some(h) = live {
+        gscalar_live::uninstall();
+        h.close();
+    }
+    code
+}
+
+/// The body of [`main_single`] between live-stream open and close.
+fn run_single(
+    exp: &Experiment,
+    opts: &CliOptions,
+    live: Option<gscalar_live::LiveHandle>,
+) -> ExitCode {
     let mut specs = (exp.grid)(opts.scale);
     if opts.budget > 0 {
         for s in &mut specs {
@@ -310,15 +405,19 @@ pub fn main_single(name: &str) -> ExitCode {
         out_dir: None,
         max_retries: 0,
         progress: Progress::Quiet,
+        live,
     };
     let outcome = run_sweep(&specs, &cfg);
     if !outcome.all_completed() {
         for f in &outcome.failures {
-            eprintln!("{}: job {} failed ({}): {}", name, f.job, f.kind, f.message);
+            eprintln!(
+                "{}: job {} failed ({}): {}",
+                exp.name, f.job, f.kind, f.message
+            );
         }
         return ExitCode::FAILURE;
     }
-    let mut r = Report::new(name);
+    let mut r = Report::from_options(exp.name, opts);
     (exp.render)(&mut r, &outcome.results, opts.scale);
     r.finish();
     ExitCode::SUCCESS
@@ -369,18 +468,42 @@ mod tests {
             "--sim-threads",
             "2",
             "--hostprof",
+            "--deterministic",
+            "--live",
+            "/tmp/x.ndjson",
+            "--live-interval",
+            "256",
         ]);
         assert!(matches!(o.scale, Scale::Test));
         assert_eq!(o.threads, 4);
         assert_eq!(o.budget, 5000);
         assert_eq!(o.sim_threads, 2);
         assert!(o.hostprof);
+        assert!(o.deterministic);
+        assert_eq!(o.live.as_deref(), Some("/tmp/x.ndjson"));
+        assert_eq!(o.live_interval, 256);
         let d = CliOptions::parse(Vec::<String>::new());
         assert!(matches!(d.scale, Scale::Full));
         assert_eq!(d.threads, 1);
         assert_eq!(d.budget, 0);
         assert_eq!(d.sim_threads, 1);
         assert!(!d.hostprof);
+        assert!(!d.deterministic);
+        assert!(d.live.is_none());
+        assert_eq!(d.live_interval, gscalar_live::DEFAULT_SNAPSHOT_INTERVAL);
+        assert!(d.json_path("x").is_none());
+    }
+
+    #[test]
+    fn cli_options_json_path_resolution() {
+        // `--json` followed by another flag means "default path".
+        let o = CliOptions::parse(["--json", "--scale", "test"]);
+        assert_eq!(
+            o.json_path("fig99"),
+            Some(PathBuf::from("results/fig99.json"))
+        );
+        let o = CliOptions::parse(["--json", "out/custom.json"]);
+        assert_eq!(o.json_path("fig99"), Some(PathBuf::from("out/custom.json")));
     }
 
     #[test]

@@ -120,29 +120,24 @@ impl Report {
         Self::from_args(bench, std::env::args().skip(1))
     }
 
-    /// [`Report::new`] with explicit arguments (for tests).
+    /// [`Report::new`] with explicit arguments (for tests). Delegates
+    /// flag parsing to [`experiments::CliOptions`], the single parser
+    /// for the shared flag set.
     #[must_use]
     pub fn from_args<I, S>(bench: &str, args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut json_path = None;
-        let mut deterministic = false;
-        let mut it = args.into_iter().map(Into::into).peekable();
-        while let Some(a) = it.next() {
-            if a == "--json" {
-                let path = match it.peek() {
-                    Some(p) if !p.starts_with("--") => PathBuf::from(it.next().unwrap()),
-                    _ => PathBuf::from(format!("results/{bench}.json")),
-                };
-                json_path = Some(path);
-            } else if a == "--deterministic" {
-                deterministic = true;
-            }
-        }
-        let mut r = Self::to_writer(bench, json_path, Box::new(std::io::stdout()));
-        r.deterministic = deterministic;
+        Self::from_options(bench, &experiments::CliOptions::parse(args))
+    }
+
+    /// Creates a report for `bench` from already-parsed options
+    /// (`--json` path resolution and `--deterministic`).
+    #[must_use]
+    pub fn from_options(bench: &str, opts: &experiments::CliOptions) -> Self {
+        let mut r = Self::to_writer(bench, opts.json_path(bench), Box::new(std::io::stdout()));
+        r.deterministic = opts.deterministic;
         r
     }
 

@@ -7,7 +7,7 @@ use gscalar_metrics::MetricsRegistry;
 use gscalar_power::{chip_power, EnergyModel, PowerReport, PowerTimeline, RfScheme};
 use gscalar_profile::{KernelProfile, Profiler};
 use gscalar_sim::memory::GlobalMemory;
-use gscalar_sim::{Gpu, GpuConfig, MetricsObserver, RunObserver, Stats};
+use gscalar_sim::{Gpu, GpuConfig, LiveObserver, MetricsObserver, RunObserver, Stats};
 use gscalar_trace::Tracer;
 
 use crate::arch::Arch;
@@ -163,15 +163,35 @@ pub fn run_stats_budgeted(
     workload: &Workload,
     budget: u64,
 ) -> Result<Stats, BudgetExceeded> {
+    let arch_name = arch_cfg.name.clone();
     let mut gpu = Gpu::new(cfg.clone(), arch_cfg);
     let mut mem = workload.memory.clone();
+    let mut live = attach_live(workload, &arch_name, cfg.num_sms);
     if budget == 0 {
-        return Ok(gpu.run(&workload.kernel, workload.launch, &mut mem));
+        return Ok(match live.as_mut() {
+            None => gpu.run(&workload.kernel, workload.launch, &mut mem),
+            Some(obs) => {
+                let interval = obs.sample_interval();
+                gpu.run_observed(
+                    &workload.kernel,
+                    workload.launch,
+                    &mut mem,
+                    &mut Tracer::off(),
+                    0,
+                    interval,
+                    obs,
+                )
+            }
+        });
     }
+    // The budget observer's cadence is part of the determinism
+    // contract (it fixes where `BudgetExceeded.cycles` lands), so live
+    // telemetry must ride along at this interval unchanged and
+    // downsample internally.
     let interval = budget.clamp(1, BUDGET_CHECK_INTERVAL);
     let mut observer = BudgetObserver { budget };
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
-        gpu.run_observed(
+    let attempt = catch_unwind(AssertUnwindSafe(|| match live.as_mut() {
+        None => gpu.run_observed(
             &workload.kernel,
             workload.launch,
             &mut mem,
@@ -179,7 +199,24 @@ pub fn run_stats_budgeted(
             0,
             interval,
             &mut observer,
-        )
+        ),
+        Some(obs) => {
+            // Live first: the snapshot at the abort boundary still
+            // streams before the budget unwinds.
+            let mut pair = PairObserver {
+                a: obs,
+                b: &mut observer,
+            };
+            gpu.run_observed(
+                &workload.kernel,
+                workload.launch,
+                &mut mem,
+                &mut Tracer::off(),
+                0,
+                interval,
+                &mut pair,
+            )
+        }
     }));
     match attempt {
         Ok(stats) => Ok(stats),
@@ -205,10 +242,26 @@ impl RunObserver for PairObserver<'_> {
         self.b.sample(cycle, stats);
     }
 
+    fn sample_sm(&mut self, cycle: u64, sm: usize, stats: &Stats) {
+        self.a.sample_sm(cycle, sm, stats);
+        self.b.sample_sm(cycle, sm, stats);
+    }
+
     fn finish(&mut self, cycle: u64, merged: &Stats, per_sm: &[Stats]) {
         self.a.finish(cycle, merged, per_sm);
         self.b.finish(cycle, merged, per_sm);
     }
+}
+
+/// When a process-wide live stream is installed (see
+/// [`gscalar_live::install`]), announces `workload` on it and returns
+/// the observer to attach to the run. Telemetry is strictly read-only:
+/// attaching the observer must never change what the engine computes,
+/// so callers keep their own sample interval whenever one is already
+/// required (budget checks, metrics cadences) and let the observer
+/// downsample internally.
+fn attach_live(workload: &Workload, arch: &str, num_sms: usize) -> Option<LiveObserver> {
+    gscalar_live::installed().map(|h| LiveObserver::start(h, &workload.name, arch, num_sms))
 }
 
 /// Runs workloads under configurable hardware and energy models.
@@ -287,13 +340,27 @@ impl Runner {
     ) -> RunReport {
         let mut gpu = Gpu::new(self.cfg.clone(), arch.config());
         let mut mem = workload.memory.clone();
-        let stats = gpu.run_traced(
-            &workload.kernel,
-            workload.launch,
-            &mut mem,
-            tracer,
-            snapshot_interval,
-        );
+        let stats = match attach_live(workload, arch.label(), self.cfg.num_sms).as_mut() {
+            None => gpu.run_traced(
+                &workload.kernel,
+                workload.launch,
+                &mut mem,
+                tracer,
+                snapshot_interval,
+            ),
+            Some(obs) => {
+                let interval = obs.sample_interval();
+                gpu.run_observed(
+                    &workload.kernel,
+                    workload.launch,
+                    &mut mem,
+                    tracer,
+                    snapshot_interval,
+                    interval,
+                    obs,
+                )
+            }
+        };
         let power = chip_power(
             &stats,
             &self.cfg,
@@ -324,10 +391,27 @@ impl Runner {
             arch.has_codec(),
             self.energy.clone(),
         );
+        // Live telemetry rides along at the caller's cadence: changing
+        // `sample_interval` here would change the metrics/power series
+        // that end up in manifests. With `sample_interval == 0` the
+        // engine delivers no samples, so the stream then carries only
+        // run_start/run_end for this run.
+        let mut live = attach_live(workload, arch.label(), self.cfg.num_sms);
         let stats = {
             let mut pair = PairObserver {
                 a: &mut metrics,
                 b: &mut timeline,
+            };
+            let mut with_live;
+            let observer: &mut dyn RunObserver = match live.as_mut() {
+                None => &mut pair,
+                Some(obs) => {
+                    with_live = PairObserver {
+                        a: obs,
+                        b: &mut pair,
+                    };
+                    &mut with_live
+                }
             };
             gpu.run_observed(
                 &workload.kernel,
@@ -336,7 +420,7 @@ impl Runner {
                 &mut Tracer::off(),
                 0,
                 sample_interval,
-                &mut pair,
+                observer,
             )
         };
         let power = chip_power(

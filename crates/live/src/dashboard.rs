@@ -1,0 +1,446 @@
+//! Folds a telemetry stream into a renderable dashboard model.
+//!
+//! The `watch` binary feeds NDJSON lines (from a file tail or an SSE
+//! subscription) into a [`Dashboard`], which keeps the latest view of
+//! every run and of the sweep, then renders a plain-text terminal
+//! dashboard: per-run throughput and stall mix, a sweep progress bar,
+//! and the ETA. Keeping the fold/render logic here (not in the binary)
+//! makes it unit-testable without a terminal.
+
+use std::collections::BTreeMap;
+
+use crate::record::LiveRecord;
+
+/// Rolling view of one simulation run.
+#[derive(Debug, Default, Clone)]
+struct RunView {
+    workload: String,
+    arch: String,
+    sms: u64,
+    cycle: u64,
+    ipc: f64,
+    scalar_rate: f64,
+    compression_ratio: f64,
+    mshr_mean: f64,
+    per_sm_ipc: Vec<f64>,
+    stalls: BTreeMap<String, u64>,
+    /// (cycle, t_s) of the previous snapshot, for throughput.
+    prev: Option<(u64, f64)>,
+    /// Simulated cycles per wall second between the last two samples.
+    cycles_per_s: Option<f64>,
+    ended: bool,
+}
+
+/// Rolling view of the sweep.
+#[derive(Debug, Default, Clone)]
+struct SweepView {
+    total: u64,
+    done: u64,
+    failed: u64,
+    retried: u64,
+    progress: f64,
+    eta_s: f64,
+    last_job: String,
+    last_status: String,
+    ended: bool,
+}
+
+/// Accumulates stream records into the latest dashboard state.
+#[derive(Debug, Default, Clone)]
+pub struct Dashboard {
+    runs: BTreeMap<u64, RunView>,
+    sweep: Option<SweepView>,
+    counts: BTreeMap<&'static str, u64>,
+    records: u64,
+    dropped: u64,
+    stream_ended: bool,
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard.
+    #[must_use]
+    pub fn new() -> Self {
+        Dashboard::default()
+    }
+
+    /// Parses and folds one NDJSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for a malformed line (the line is not
+    /// folded; the caller decides whether that is fatal, as `watch
+    /// check` does).
+    pub fn feed_line(&mut self, line: &str) -> Result<(), String> {
+        let rec = LiveRecord::parse(line)?;
+        self.feed(&rec);
+        Ok(())
+    }
+
+    /// Folds one record.
+    pub fn feed(&mut self, rec: &LiveRecord) {
+        self.records += 1;
+        *self.counts.entry(rec.type_name()).or_insert(0) += 1;
+        match rec {
+            LiveRecord::RunStart {
+                run,
+                workload,
+                arch,
+                sms,
+                ..
+            } => {
+                let v = self.runs.entry(*run).or_default();
+                v.workload.clone_from(workload);
+                v.arch.clone_from(arch);
+                v.sms = *sms;
+            }
+            LiveRecord::Snapshot {
+                run,
+                cycle,
+                ipc,
+                scalar_rate,
+                compression_ratio,
+                mshr_mean,
+                per_sm_ipc,
+                stalls,
+                t_s,
+                ..
+            } => {
+                let v = self.runs.entry(*run).or_default();
+                if let Some((pc, pt)) = v.prev {
+                    let dt = t_s - pt;
+                    if dt > 0.0 && *cycle > pc {
+                        v.cycles_per_s = Some((*cycle - pc) as f64 / dt);
+                    }
+                }
+                v.prev = Some((*cycle, *t_s));
+                v.cycle = *cycle;
+                v.ipc = *ipc;
+                v.scalar_rate = *scalar_rate;
+                v.compression_ratio = *compression_ratio;
+                v.mshr_mean = *mshr_mean;
+                v.per_sm_ipc.clone_from(per_sm_ipc);
+                v.stalls.clone_from(stalls);
+            }
+            LiveRecord::RunEnd {
+                run, cycle, ipc, ..
+            } => {
+                let v = self.runs.entry(*run).or_default();
+                v.cycle = *cycle;
+                v.ipc = *ipc;
+                v.ended = true;
+            }
+            LiveRecord::SweepStart { jobs, .. } => {
+                let v = self.sweep.get_or_insert_with(SweepView::default);
+                v.total = *jobs;
+            }
+            LiveRecord::JobStart { job, .. } => {
+                let v = self.sweep.get_or_insert_with(SweepView::default);
+                v.last_job.clone_from(job);
+                v.last_status = "running".into();
+            }
+            LiveRecord::JobRetry { job, .. } => {
+                let v = self.sweep.get_or_insert_with(SweepView::default);
+                v.retried += 1;
+                v.last_job.clone_from(job);
+                v.last_status = "retry".into();
+            }
+            LiveRecord::JobEnd {
+                job,
+                status,
+                done,
+                total,
+                progress,
+                eta_s,
+                ..
+            } => {
+                let v = self.sweep.get_or_insert_with(SweepView::default);
+                v.done = *done;
+                v.total = *total;
+                v.progress = *progress;
+                v.eta_s = *eta_s;
+                v.last_job.clone_from(job);
+                v.last_status.clone_from(status);
+                if status != "ok" {
+                    v.failed += 1;
+                }
+            }
+            LiveRecord::SweepEnd {
+                done,
+                total,
+                failed,
+                ..
+            } => {
+                let v = self.sweep.get_or_insert_with(SweepView::default);
+                v.done = *done;
+                v.total = *total;
+                v.failed = *failed;
+                v.progress = 1.0;
+                v.eta_s = 0.0;
+                v.ended = true;
+            }
+            LiveRecord::StreamEnd { dropped, .. } => {
+                self.dropped = *dropped;
+                self.stream_ended = true;
+            }
+        }
+    }
+
+    /// Whether the terminal `stream_end` record has been seen.
+    #[must_use]
+    pub fn ended(&self) -> bool {
+        self.stream_ended
+    }
+
+    /// Records folded so far, by record type.
+    #[must_use]
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Renders the dashboard as plain text, `width` columns wide.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let width = width.clamp(40, 200);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "g-scalar live — {} records{}{}\n",
+            self.records,
+            if self.dropped > 0 {
+                format!(", {} DROPPED", self.dropped)
+            } else {
+                String::new()
+            },
+            if self.stream_ended { " (ended)" } else { "" },
+        ));
+        if let Some(sw) = &self.sweep {
+            let frac = if sw.ended { 1.0 } else { sw.progress };
+            out.push_str(&format!(
+                "sweep  {} {:>4}/{:<4} jobs  failed {}  retried {}  eta {}\n",
+                bar(frac, width.saturating_sub(34).min(40)),
+                sw.done,
+                sw.total,
+                sw.failed,
+                sw.retried,
+                fmt_eta(sw.eta_s, sw.ended),
+            ));
+            if !sw.last_job.is_empty() {
+                out.push_str(&format!(
+                    "       last: {} [{}]\n",
+                    sw.last_job, sw.last_status
+                ));
+            }
+        }
+        // Show in-flight runs first, then the most recent finished ones.
+        let mut live: Vec<(&u64, &RunView)> = self.runs.iter().filter(|(_, v)| !v.ended).collect();
+        let mut finished: Vec<(&u64, &RunView)> =
+            self.runs.iter().filter(|(_, v)| v.ended).collect();
+        finished.reverse();
+        live.extend(finished);
+        for (id, v) in live.into_iter().take(8) {
+            out.push_str(&format!(
+                "run {:>3} {:<14} {:<9} cyc {:>10}  ipc {:>6.2}  scalar {:>5.1}%  comp {:>4.2}x  mshr {:>4.1}  {}\n",
+                id,
+                truncate(&v.workload, 14),
+                truncate(&v.arch, 9),
+                v.cycle,
+                v.ipc,
+                v.scalar_rate * 100.0,
+                v.compression_ratio,
+                v.mshr_mean,
+                match (v.ended, v.cycles_per_s) {
+                    (true, _) => "done".to_string(),
+                    (false, Some(r)) => format!("{:.0} cyc/s", r),
+                    (false, None) => "-".to_string(),
+                },
+            ));
+            if !v.ended && !v.stalls.is_empty() {
+                out.push_str(&format!("        stalls: {}\n", stall_mix(&v.stalls)));
+            }
+        }
+        out
+    }
+}
+
+/// `####----` progress bar of `cols` characters.
+fn bar(frac: f64, cols: usize) -> String {
+    let cols = cols.max(10);
+    let filled = ((frac.clamp(0.0, 1.0)) * cols as f64).round() as usize;
+    let mut s = String::with_capacity(cols + 2);
+    s.push('[');
+    for i in 0..cols {
+        s.push(if i < filled { '#' } else { '-' });
+    }
+    s.push(']');
+    s
+}
+
+fn fmt_eta(eta_s: f64, ended: bool) -> String {
+    if ended {
+        return "done".to_string();
+    }
+    if eta_s <= 0.0 {
+        return "-".to_string();
+    }
+    if eta_s >= 60.0 {
+        format!("{:.0}m{:02.0}s", (eta_s / 60.0).floor(), eta_s % 60.0)
+    } else {
+        format!("{eta_s:.1}s")
+    }
+}
+
+/// The top stall reasons as `label p%` pairs, largest first.
+fn stall_mix(stalls: &BTreeMap<String, u64>) -> String {
+    let total: u64 = stalls.values().sum();
+    if total == 0 {
+        return "none".to_string();
+    }
+    let mut v: Vec<(&String, &u64)> = stalls.iter().filter(|(_, c)| **c > 0).collect();
+    v.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    v.into_iter()
+        .take(4)
+        .map(|(k, c)| format!("{k} {:.0}%", *c as f64 * 100.0 / total as f64))
+        .collect::<Vec<String>>()
+        .join("  ")
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n - 1)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(run: u64, cycle: u64, t_s: f64) -> LiveRecord {
+        LiveRecord::Snapshot {
+            run,
+            cycle,
+            ipc: 8.0,
+            issued: cycle / 2,
+            warp_instrs: cycle / 3,
+            scalar_rate: 0.25,
+            compression_ratio: 1.6,
+            mshr_mean: 2.0,
+            mshr_max: 4,
+            per_sm_ipc: vec![0.5; 4],
+            stalls: [
+                ("mem".to_string(), 60u64),
+                ("sync".to_string(), 30),
+                ("none".to_string(), 0),
+            ]
+            .into_iter()
+            .collect(),
+            pool: (0, 0, 0),
+            t_s,
+        }
+    }
+
+    #[test]
+    fn folds_runs_and_computes_throughput() {
+        let mut d = Dashboard::new();
+        d.feed(&LiveRecord::RunStart {
+            run: 1,
+            workload: "backprop".into(),
+            arch: "G-Scalar".into(),
+            sms: 4,
+            t_s: 0.0,
+        });
+        d.feed(&snapshot(1, 1000, 1.0));
+        d.feed(&snapshot(1, 3000, 2.0));
+        let text = d.render(100);
+        assert!(text.contains("backprop"), "{text}");
+        assert!(text.contains("2000 cyc/s"), "{text}");
+        assert!(text.contains("mem 67%"), "{text}");
+        d.feed(&LiveRecord::RunEnd {
+            run: 1,
+            cycle: 5000,
+            ipc: 9.0,
+            warp_instrs: 100,
+            t_s: 3.0,
+        });
+        let text = d.render(100);
+        assert!(text.contains("done"), "{text}");
+        assert!(!d.ended());
+    }
+
+    #[test]
+    fn folds_sweep_progress_and_stream_end() {
+        let mut d = Dashboard::new();
+        d.feed(&LiveRecord::SweepStart {
+            jobs: 4,
+            budget_cycles: 0,
+            t_s: 0.0,
+        });
+        d.feed(&LiveRecord::JobStart {
+            job: "fig01/BP".into(),
+            budget: 100,
+            t_s: 0.0,
+        });
+        d.feed(&LiveRecord::JobEnd {
+            job: "fig01/BP".into(),
+            status: "panic".into(),
+            attempts: 2,
+            sim_cycles: 0,
+            wall_s: 0.1,
+            done: 1,
+            total: 4,
+            progress: 0.25,
+            eta_s: 90.0,
+            t_s: 0.2,
+        });
+        let text = d.render(100);
+        assert!(text.contains("1/4"), "{text}");
+        assert!(text.contains("failed 1"), "{text}");
+        assert!(text.contains("1m30s"), "{text}");
+        assert!(text.contains("fig01/BP [panic]"), "{text}");
+        d.feed(&LiveRecord::StreamEnd {
+            records: 4,
+            dropped: 7,
+            t_s: 1.0,
+        });
+        assert!(d.ended());
+        let text = d.render(100);
+        assert!(text.contains("7 DROPPED"), "{text}");
+        assert_eq!(d.counts().get("job_end"), Some(&1));
+    }
+
+    #[test]
+    fn feed_line_surfaces_parse_errors_without_folding() {
+        let mut d = Dashboard::new();
+        assert!(d.feed_line("garbage").is_err());
+        assert_eq!(d.counts().len(), 0);
+        assert!(d
+            .feed_line(
+                &LiveRecord::SweepEnd {
+                    done: 1,
+                    total: 1,
+                    failed: 0,
+                    wall_s: 0.0,
+                    t_s: 0.0,
+                }
+                .to_json_line()
+            )
+            .is_ok());
+        assert_eq!(d.counts().get("sweep_end"), Some(&1));
+    }
+
+    #[test]
+    fn bar_and_eta_formatting() {
+        assert_eq!(bar(0.5, 10), "[#####-----]");
+        assert_eq!(fmt_eta(0.0, false), "-");
+        assert_eq!(fmt_eta(5.25, false), "5.2s");
+        assert_eq!(fmt_eta(125.0, false), "2m05s");
+        assert_eq!(fmt_eta(10.0, true), "done");
+    }
+}

@@ -1,0 +1,138 @@
+//! Budget-weighted sweep progress and ETA.
+//!
+//! A sweep's jobs are far from uniform: a full-scale budgeted cell can
+//! simulate millions of cycles while a test-scale one finishes in
+//! thousands. Counting finished *jobs* therefore produces wildly wrong
+//! ETAs. [`EtaTracker`] instead weights each job by its simulated-cycle
+//! budget — a number that is known up front and deterministic — and
+//! projects the remaining wall time from the elapsed time per unit of
+//! completed weight. Unbudgeted jobs get the mean non-zero budget (or
+//! weight 1 when the sweep has no budgets at all), which degrades
+//! gracefully to plain job-count ETA.
+
+/// Tracks weighted completion across a fixed set of jobs.
+#[derive(Debug, Clone)]
+pub struct EtaTracker {
+    weights: Vec<f64>,
+    done: Vec<bool>,
+    done_weight: f64,
+    total_weight: f64,
+}
+
+impl EtaTracker {
+    /// Creates a tracker for jobs with the given cycle `budgets`
+    /// (0 = unbudgeted).
+    #[must_use]
+    pub fn new(budgets: &[u64]) -> Self {
+        let nonzero: Vec<f64> = budgets
+            .iter()
+            .filter(|b| **b > 0)
+            .map(|b| *b as f64)
+            .collect();
+        let fallback = if nonzero.is_empty() {
+            1.0
+        } else {
+            nonzero.iter().sum::<f64>() / nonzero.len() as f64
+        };
+        let weights: Vec<f64> = budgets
+            .iter()
+            .map(|b| if *b > 0 { *b as f64 } else { fallback })
+            .collect();
+        let total_weight = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+        EtaTracker {
+            done: vec![false; weights.len()],
+            weights,
+            done_weight: 0.0,
+            total_weight,
+        }
+    }
+
+    /// Marks job `idx` complete (idempotent).
+    pub fn complete(&mut self, idx: usize) {
+        if let Some(flag) = self.done.get_mut(idx) {
+            if !*flag {
+                *flag = true;
+                self.done_weight += self.weights[idx];
+            }
+        }
+    }
+
+    /// Weighted completion fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        (self.done_weight / self.total_weight).clamp(0.0, 1.0)
+    }
+
+    /// Projects remaining seconds from `elapsed_s` wall time; `0.0`
+    /// until something completes.
+    #[must_use]
+    pub fn eta_s(&self, elapsed_s: f64) -> f64 {
+        let p = self.fraction();
+        if p <= 0.0 {
+            return 0.0;
+        }
+        (elapsed_s * (1.0 - p) / p).max(0.0)
+    }
+
+    /// Number of jobs tracked.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_eta_reflects_budgets_not_job_counts() {
+        // Two tiny jobs and one huge one: after the tiny pair, a
+        // job-count ETA would say 1/3 remains; the weighted one knows
+        // almost everything is still ahead.
+        let mut t = EtaTracker::new(&[100, 100, 9800]);
+        t.complete(0);
+        t.complete(1);
+        assert!((t.fraction() - 0.02).abs() < 1e-12);
+        let eta = t.eta_s(2.0);
+        assert!((eta - 98.0).abs() < 1e-9, "eta {eta}");
+    }
+
+    #[test]
+    fn unbudgeted_jobs_use_mean_nonzero_budget() {
+        let mut t = EtaTracker::new(&[0, 200, 400]);
+        // Fallback weight is 300, total 900.
+        t.complete(0);
+        assert!((t.fraction() - 300.0 / 900.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_unbudgeted_degrades_to_job_counts() {
+        let mut t = EtaTracker::new(&[0, 0, 0, 0]);
+        t.complete(2);
+        assert!((t.fraction() - 0.25).abs() < 1e-12);
+        assert!((t.eta_s(1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_is_idempotent_and_bounds_hold() {
+        let mut t = EtaTracker::new(&[10, 10]);
+        t.complete(0);
+        t.complete(0);
+        assert!((t.fraction() - 0.5).abs() < 1e-12);
+        t.complete(1);
+        assert_eq!(t.fraction(), 1.0);
+        assert_eq!(t.eta_s(5.0), 0.0);
+        // Out-of-range completions are ignored.
+        t.complete(99);
+        assert_eq!(t.fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_tracker_is_safe() {
+        let t = EtaTracker::new(&[]);
+        assert_eq!(t.fraction(), 0.0);
+        assert_eq!(t.eta_s(1.0), 0.0);
+        assert_eq!(t.total(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! A deliberately small single-threaded HTTP/SSE server for live
+//! streams — the first slice of the sweep-as-a-service API.
+//!
+//! Endpoints (HTTP/1.0, one request per connection):
+//!
+//! * `GET /runs` — JSON array of the runs seen so far (`run` id,
+//!   `workload`, record count, whether the run is still in flight).
+//! * `GET /runs/<id>/stream` — Server-Sent Events: every record of run
+//!   `<id>` already buffered is replayed as one `data:` event, then new
+//!   records are pushed as they arrive; when the stream closes the
+//!   server sends `event: end` and drops the connection. The pseudo-id
+//!   `all` subscribes to the merged stream (every record, including
+//!   sweep lifecycle events), which is what `watch <addr>` uses.
+//!
+//! The server keeps the full record history in memory, so late
+//! subscribers see the whole stream; it accepts one connection at a
+//! time (a streaming subscriber parks the acceptor), which matches its
+//! in-repo single-watcher use. It runs on a detached thread and lives
+//! until process exit.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gscalar_metrics::json::Json;
+
+/// How often pollers (acceptor, SSE pushers) re-check shared state.
+const POLL: Duration = Duration::from_millis(25);
+
+#[derive(Default)]
+struct RunMeta {
+    workload: String,
+    records: u64,
+    ended: bool,
+}
+
+#[derive(Default)]
+struct ServerState {
+    /// Every line pushed, in arrival order.
+    lines: Vec<String>,
+    /// Per-run bookkeeping, keyed by run id.
+    runs: BTreeMap<u64, RunMeta>,
+    closed: bool,
+}
+
+/// State shared between the stream's writer thread (producer) and the
+/// server's acceptor thread (consumer).
+pub(crate) struct ServerShared {
+    state: Mutex<ServerState>,
+}
+
+impl ServerShared {
+    /// Binds `addr`, spawns the detached acceptor thread, and returns
+    /// the shared state plus the actual bound address.
+    pub(crate) fn bind(addr: SocketAddr) -> std::io::Result<(Arc<ServerShared>, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            state: Mutex::new(ServerState::default()),
+        });
+        let srv = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Connection handling is best-effort: a broken
+                    // client must not take the server down.
+                    let _ = srv.handle(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(_) => std::thread::sleep(POLL),
+            }
+        });
+        Ok((shared, bound))
+    }
+
+    /// Appends one record line (called by the stream writer thread).
+    pub(crate) fn push(&self, line: &str) {
+        let mut st = self.state.lock().expect("server state poisoned");
+        if let Ok(doc) = Json::parse(line) {
+            let ty = doc.get("type").and_then(Json::as_str).unwrap_or("");
+            if let Some(run) = doc.get("run").and_then(Json::as_f64) {
+                let meta = st.runs.entry(run as u64).or_default();
+                meta.records += 1;
+                match ty {
+                    "run_start" => {
+                        meta.workload = doc
+                            .get("workload")
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_string();
+                    }
+                    "run_end" => meta.ended = true,
+                    _ => {}
+                }
+            }
+        }
+        st.lines.push(line.to_string());
+    }
+
+    /// Marks the stream closed (called once, after the terminal record).
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("server state poisoned").closed = true;
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        let path = match request_line.split_whitespace().collect::<Vec<_>>()[..] {
+            ["GET", p, ..] => p.to_string(),
+            _ => {
+                return respond(stream, "400 Bad Request", "text/plain", "bad request\n");
+            }
+        };
+        // Drain the remaining request headers (best-effort).
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) if line == "\r\n" || line == "\n" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        if path == "/runs" {
+            let body = self.runs_json();
+            return respond(stream, "200 OK", "application/json", &body);
+        }
+        if let Some(rest) = path.strip_prefix("/runs/") {
+            if let Some(id) = rest.strip_suffix("/stream") {
+                let filter = match id {
+                    "all" => None,
+                    n => match n.parse::<u64>() {
+                        Ok(v) => Some(v),
+                        Err(_) => {
+                            return respond(
+                                stream,
+                                "404 Not Found",
+                                "text/plain",
+                                "unknown run id\n",
+                            );
+                        }
+                    },
+                };
+                return self.stream_sse(stream, filter);
+            }
+        }
+        respond(stream, "404 Not Found", "text/plain", "not found\n")
+    }
+
+    fn runs_json(&self) -> String {
+        let st = self.state.lock().expect("server state poisoned");
+        let runs: Vec<Json> = st
+            .runs
+            .iter()
+            .map(|(id, meta)| {
+                Json::obj([
+                    ("run".to_string(), Json::Num(*id as f64)),
+                    ("workload".to_string(), Json::Str(meta.workload.clone())),
+                    ("records".to_string(), Json::Num(meta.records as f64)),
+                    ("live".to_string(), Json::Bool(!meta.ended && !st.closed)),
+                ])
+            })
+            .collect();
+        format!("{}\n", Json::Arr(runs))
+    }
+
+    /// Replays buffered records for `filter` (None = all) as SSE, then
+    /// follows the live stream until it closes or the client hangs up.
+    fn stream_sse(&self, mut stream: TcpStream, filter: Option<u64>) -> std::io::Result<()> {
+        stream.write_all(
+            b"HTTP/1.0 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n\r\n",
+        )?;
+        let matches = |line: &str| match filter {
+            None => true,
+            Some(id) => Json::parse(line)
+                .ok()
+                .and_then(|d| d.get("run").and_then(Json::as_f64))
+                .is_some_and(|r| r as u64 == id),
+        };
+        let mut sent = 0usize;
+        loop {
+            let (batch, closed) = {
+                let st = self.state.lock().expect("server state poisoned");
+                let batch: Vec<String> = st.lines[sent.min(st.lines.len())..].to_vec();
+                (batch, st.closed)
+            };
+            sent += batch.len();
+            for line in &batch {
+                if matches(line) {
+                    stream.write_all(format!("data: {line}\n\n").as_bytes())?;
+                }
+            }
+            if closed {
+                stream.write_all(b"event: end\ndata: {}\n\n")?;
+                stream.flush()?;
+                return Ok(());
+            }
+            stream.flush()?;
+            std::thread::sleep(POLL);
+        }
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

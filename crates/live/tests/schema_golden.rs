@@ -1,0 +1,153 @@
+//! Golden-file pins on the NDJSON record schema (v1).
+//!
+//! These strings are the wire format: external tooling (`tail`, `jq`,
+//! dashboards) may depend on exact key names and layout, so any change
+//! that breaks a line here is a schema change and must bump
+//! [`gscalar_live::LIVE_SCHEMA_VERSION`].
+
+use gscalar_live::LiveRecord;
+
+#[test]
+fn run_records_match_golden_lines() {
+    let start = LiveRecord::RunStart {
+        run: 3,
+        workload: "backprop".into(),
+        arch: "G-Scalar".into(),
+        sms: 15,
+        t_s: 0.25,
+    };
+    assert_eq!(
+        start.to_json_line(),
+        r#"{"arch":"G-Scalar","run":3,"sms":15,"t_s":0.25,"type":"run_start","v":1,"workload":"backprop"}"#
+    );
+    let end = LiveRecord::RunEnd {
+        run: 3,
+        cycle: 20480,
+        ipc: 12.5,
+        warp_instrs: 9000,
+        t_s: 1.5,
+    };
+    assert_eq!(
+        end.to_json_line(),
+        r#"{"cycle":20480,"ipc":12.5,"run":3,"t_s":1.5,"type":"run_end","v":1,"warp_instrs":9000}"#
+    );
+}
+
+#[test]
+fn snapshot_matches_golden_line() {
+    let snap = LiveRecord::Snapshot {
+        run: 3,
+        cycle: 8192,
+        ipc: 10.5,
+        issued: 4096,
+        warp_instrs: 4000,
+        scalar_rate: 0.25,
+        compression_ratio: 1.5,
+        mshr_mean: 2.5,
+        mshr_max: 8,
+        per_sm_ipc: vec![0.5, 0.75],
+        stalls: [("mem".to_string(), 100u64), ("none".to_string(), 0)]
+            .into_iter()
+            .collect(),
+        pool: (7, 2, 40),
+        t_s: 0.5,
+    };
+    assert_eq!(
+        snap.to_json_line(),
+        concat!(
+            r#"{"compression_ratio":1.5,"cycle":8192,"ipc":10.5,"issued":4096,"#,
+            r#""mshr_max":8,"mshr_mean":2.5,"per_sm_ipc":[0.5,0.75],"#,
+            r#""pool":{"epochs":40,"failed_steals":2,"steals":7},"run":3,"#,
+            r#""scalar_rate":0.25,"stalls":{"mem":100,"none":0},"t_s":0.5,"#,
+            r#""type":"snapshot","v":1,"warp_instrs":4000}"#
+        )
+    );
+}
+
+#[test]
+fn sweep_lifecycle_records_match_golden_lines() {
+    assert_eq!(
+        LiveRecord::SweepStart {
+            jobs: 18,
+            budget_cycles: 360_000,
+            t_s: 0.0,
+        }
+        .to_json_line(),
+        r#"{"budget_cycles":360000,"jobs":18,"t_s":0,"type":"sweep_start","v":1}"#
+    );
+    assert_eq!(
+        LiveRecord::JobStart {
+            job: "fig01_divergence/BP".into(),
+            budget: 20_000,
+            t_s: 0.0,
+        }
+        .to_json_line(),
+        r#"{"budget":20000,"job":"fig01_divergence/BP","t_s":0,"type":"job_start","v":1}"#
+    );
+    assert_eq!(
+        LiveRecord::JobRetry {
+            job: "fig01_divergence/BP".into(),
+            attempt: 1,
+            kind: "panic".into(),
+            message: "index out of bounds".into(),
+            t_s: 0.0,
+        }
+        .to_json_line(),
+        concat!(
+            r#"{"attempt":1,"job":"fig01_divergence/BP","kind":"panic","#,
+            r#""message":"index out of bounds","t_s":0,"type":"job_retry","v":1}"#
+        )
+    );
+    assert_eq!(
+        LiveRecord::JobEnd {
+            job: "fig01_divergence/BP".into(),
+            status: "ok".into(),
+            attempts: 2,
+            sim_cycles: 18_000,
+            wall_s: 0.0,
+            done: 1,
+            total: 18,
+            progress: 0.0625,
+            eta_s: 0.0,
+            t_s: 0.0,
+        }
+        .to_json_line(),
+        concat!(
+            r#"{"attempts":2,"done":1,"eta_s":0,"job":"fig01_divergence/BP","#,
+            r#""progress":0.0625,"sim_cycles":18000,"status":"ok","t_s":0,"#,
+            r#""total":18,"type":"job_end","v":1,"wall_s":0}"#
+        )
+    );
+    assert_eq!(
+        LiveRecord::SweepEnd {
+            done: 18,
+            total: 18,
+            failed: 1,
+            wall_s: 0.0,
+            t_s: 0.0,
+        }
+        .to_json_line(),
+        r#"{"done":18,"failed":1,"t_s":0,"total":18,"type":"sweep_end","v":1,"wall_s":0}"#
+    );
+    assert_eq!(
+        LiveRecord::StreamEnd {
+            records: 42,
+            dropped: 0,
+            t_s: 0.0,
+        }
+        .to_json_line(),
+        r#"{"dropped":0,"records":42,"t_s":0,"type":"stream_end","v":1}"#
+    );
+}
+
+#[test]
+fn golden_lines_parse_back() {
+    for line in [
+        r#"{"arch":"G-Scalar","run":3,"sms":15,"t_s":0.25,"type":"run_start","v":1,"workload":"backprop"}"#,
+        r#"{"budget_cycles":360000,"jobs":18,"t_s":0,"type":"sweep_start","v":1}"#,
+        r#"{"dropped":0,"records":42,"t_s":0,"type":"stream_end","v":1}"#,
+    ] {
+        let rec = LiveRecord::parse(line).expect(line);
+        assert_eq!(rec.to_json_line(), line, "re-serialization drifts");
+    }
+}

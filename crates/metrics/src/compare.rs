@@ -262,6 +262,29 @@ pub fn merge_manifests(manifests: &[Manifest], name: &str) -> Manifest {
     out
 }
 
+/// Warning lines for manifests whose trace ring overflowed (metric
+/// `trace/dropped_events` > 0): the exported trace is missing its
+/// oldest records, so waterfalls and time series silently start late.
+/// Returned sorted by bench name; empty when no manifest dropped.
+#[must_use]
+pub fn dropped_event_warnings(manifests: &[Manifest]) -> Vec<String> {
+    let mut sorted: Vec<&Manifest> = manifests.iter().collect();
+    sorted.sort_by(|a, b| a.bench.cmp(&b.bench));
+    sorted
+        .iter()
+        .filter_map(|m| {
+            let n = m.get("trace/dropped_events")?;
+            (n > 0.0).then(|| {
+                format!(
+                    "warning: {}: trace ring dropped {n:.0} event(s); \
+                     exported traces are truncated (raise the event-buffer capacity)",
+                    m.bench
+                )
+            })
+        })
+        .collect()
+}
+
 /// Renders a manifest set as a markdown dashboard: a summary table of
 /// every bench (wall time, simulated throughput, config digest) and a
 /// per-bench metric table.
@@ -269,6 +292,13 @@ pub fn merge_manifests(manifests: &[Manifest], name: &str) -> Manifest {
 pub fn aggregate_markdown(manifests: &[Manifest]) -> String {
     let mut out = String::from("# G-Scalar bench dashboard\n\n");
     out.push_str(&format!("{} manifests aggregated.\n\n", manifests.len()));
+    let warnings = dropped_event_warnings(manifests);
+    if !warnings.is_empty() {
+        for w in &warnings {
+            out.push_str(&format!("> **{w}**\n"));
+        }
+        out.push('\n');
+    }
     out.push_str("| bench | metrics | sim cycles | wall (s) | Mcyc/host-s | config |\n");
     out.push_str("|---|---:|---:|---:|---:|---|\n");
     let mut sorted: Vec<&Manifest> = manifests.iter().collect();
@@ -323,6 +353,25 @@ mod tests {
             m.set(*k, *v);
         }
         m
+    }
+
+    #[test]
+    fn dropped_event_warnings_flag_only_nonzero() {
+        let manifests = vec![
+            manifest("clean", &[("trace/dropped_events", 0.0), ("ipc", 1.0)]),
+            manifest("lossy", &[("trace/dropped_events", 42.0)]),
+            manifest("untraced", &[("ipc", 2.0)]),
+        ];
+        let warnings = dropped_event_warnings(&manifests);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("lossy"), "got: {}", warnings[0]);
+        assert!(warnings[0].contains("42 event(s)"), "got: {}", warnings[0]);
+        let md = aggregate_markdown(&manifests);
+        assert!(
+            md.contains("trace ring dropped 42"),
+            "dashboard surfaces it"
+        );
+        assert!(dropped_event_warnings(&[manifest("x", &[("a", 1.0)])]).is_empty());
     }
 
     #[test]

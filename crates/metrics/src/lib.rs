@@ -43,7 +43,8 @@ pub mod json;
 pub mod manifest;
 
 pub use compare::{
-    aggregate_markdown, compare, merge_manifests, CompareConfig, CompareReport, Delta,
+    aggregate_markdown, compare, dropped_event_warnings, merge_manifests, CompareConfig,
+    CompareReport, Delta,
 };
 pub use manifest::{HostProfile, Manifest};
 

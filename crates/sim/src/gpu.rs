@@ -29,6 +29,17 @@ pub trait RunObserver {
     /// every SM with `stats.cycles` set to the boundary cycle.
     fn sample(&mut self, cycle: u64, stats: &Stats);
 
+    /// Per-SM detail of one interval sample: called once per SM (in SM
+    /// id order) immediately before the merged [`sample`] at the same
+    /// boundary, with that SM's own cumulative statistics. The default
+    /// does nothing, so observers that only need the merged view are
+    /// unaffected.
+    ///
+    /// [`sample`]: RunObserver::sample
+    fn sample_sm(&mut self, cycle: u64, sm: usize, stats: &Stats) {
+        let _ = (cycle, sm, stats);
+    }
+
     /// The run is complete: `merged` is the final aggregate (identical
     /// to the run's return value) and `per_sm` holds each SM's own
     /// statistics.
@@ -349,7 +360,8 @@ impl Gpu {
                     let _snap_phase = hostprof::phase(hostprof::Phase::Snapshot);
                     last_sample = boundary;
                     let mut cum = Stats::default();
-                    for sm in &sms {
+                    for (i, sm) in sms.iter().enumerate() {
+                        observer.sample_sm(boundary, i, &sm.stats);
                         cum.merge(&sm.stats);
                     }
                     cum.cycles = boundary;

@@ -50,6 +50,7 @@ pub mod cache;
 pub mod config;
 pub mod exec;
 pub mod gpu;
+pub mod live;
 pub mod memory;
 pub mod memsys;
 pub mod metrics;
@@ -66,6 +67,7 @@ pub mod warp;
 
 pub use config::{ArchConfig, GpuConfig, IdealConfig, Latencies};
 pub use gpu::{Gpu, NullObserver, RunObserver};
+pub use live::LiveObserver;
 pub use metrics::MetricsObserver;
 pub use stats::{ScalarClass, SchedStats, Stats};
 

@@ -343,8 +343,10 @@ fn run_epochs_inner(
                     let _snap_phase = hostprof::phase(hostprof::Phase::Snapshot);
                     last_sample = boundary;
                     let mut cum = Stats::default();
-                    for slot in slots {
-                        cum.merge(&slot.lock().expect("slot lock").sm.stats);
+                    for (i, slot) in slots.iter().enumerate() {
+                        let guard = slot.lock().expect("slot lock");
+                        observer.sample_sm(boundary, i, &guard.sm.stats);
+                        cum.merge(&guard.sm.stats);
                     }
                     cum.cycles = boundary;
                     observer.sample(boundary, &cum);

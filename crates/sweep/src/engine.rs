@@ -30,6 +30,7 @@ use crate::job::{
     FailureRecord, JobCtx, JobError, JobId, JobOutput, JobResult, JobSpec, ResultSet,
 };
 use crate::pool::run_indexed;
+use gscalar_live::{EtaTracker, LiveHandle, LiveRecord};
 use gscalar_metrics::{HostProfile, Manifest};
 
 /// Progress reporting mode.
@@ -54,6 +55,13 @@ pub struct SweepConfig {
     pub max_retries: u32,
     /// Progress reporting.
     pub progress: Progress,
+    /// Live telemetry stream for sweep lifecycle events (`sweep_start`,
+    /// `job_start`/`job_retry`/`job_end` with a budget-weighted ETA,
+    /// `sweep_end`). `None` disables lifecycle emission. Note that
+    /// job start/retry events are emitted from worker threads, so
+    /// their order between concurrent jobs varies with thread count —
+    /// the stream is a side channel, never a comparison artifact.
+    pub live: Option<LiveHandle>,
 }
 
 impl Default for SweepConfig {
@@ -63,6 +71,7 @@ impl Default for SweepConfig {
             out_dir: None,
             max_retries: 1,
             progress: Progress::Quiet,
+            live: None,
         }
     }
 }
@@ -149,11 +158,24 @@ fn write_atomic(path: &Path, text: &str) {
 }
 
 /// Runs one job with panic containment and bounded retry, returning
-/// the attempt count alongside the outcome.
-fn run_one(spec: &JobSpec, max_retries: u32) -> (u32, Result<JobOutput, JobError>) {
+/// the attempt count alongside the outcome. Emits `job_start` (before
+/// the first attempt) and `job_retry` lifecycle events on `live`; this
+/// runs on a worker thread, which the non-blocking stream supports.
+fn run_one(
+    spec: &JobSpec,
+    max_retries: u32,
+    live: Option<&LiveHandle>,
+) -> (u32, Result<JobOutput, JobError>) {
     let ctx = JobCtx {
         cycle_budget: spec.cycle_budget,
     };
+    if let Some(live) = live {
+        live.emit(&LiveRecord::JobStart {
+            job: spec.id.to_string(),
+            budget: spec.cycle_budget,
+            t_s: live.now_s(),
+        });
+    }
     let mut attempts = 0u32;
     loop {
         attempts += 1;
@@ -165,6 +187,15 @@ fn run_one(spec: &JobSpec, max_retries: u32) -> (u32, Result<JobOutput, JobError
         };
         if !err.retryable() || attempts > max_retries {
             return (attempts, Err(err));
+        }
+        if let Some(live) = live {
+            live.emit(&LiveRecord::JobRetry {
+                job: spec.id.to_string(),
+                attempt: u64::from(attempts),
+                kind: err.kind().to_string(),
+                message: err.message(),
+                t_s: live.now_s(),
+            });
         }
     }
 }
@@ -216,6 +247,15 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
 
     // Parallel execution; results land on this thread.
     let total = pending.len();
+    let budgets: Vec<u64> = pending.iter().map(|&i| specs[i].cycle_budget).collect();
+    let mut eta = EtaTracker::new(&budgets);
+    if let Some(live) = cfg.live.as_ref() {
+        live.emit(&LiveRecord::SweepStart {
+            jobs: total as u64,
+            budget_cycles: budgets.iter().sum(),
+            t_s: live.now_s(),
+        });
+    }
     let mut done = 0usize;
     let mut failures_by_index: Vec<(usize, FailureRecord)> = Vec::new();
     run_indexed(
@@ -224,13 +264,31 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
         |k| {
             let spec = &specs[pending[k]];
             let t = Instant::now();
-            let (attempts, result) = run_one(spec, cfg.max_retries);
+            let (attempts, result) = run_one(spec, cfg.max_retries, cfg.live.as_ref());
             (attempts, result, t.elapsed().as_secs_f64())
         },
         |k, (attempts, result, wall_s)| {
             let spec = &specs[pending[k]];
             done += 1;
             outcome.executed += 1;
+            eta.complete(k);
+            let eta_s = eta.eta_s(t0.elapsed().as_secs_f64());
+            let job_end = |status: &str, sim_cycles: u64| {
+                if let Some(live) = cfg.live.as_ref() {
+                    live.emit(&LiveRecord::JobEnd {
+                        job: spec.id.to_string(),
+                        status: status.to_string(),
+                        attempts: u64::from(attempts),
+                        sim_cycles,
+                        wall_s: live.redact(wall_s),
+                        done: done as u64,
+                        total: total as u64,
+                        progress: eta.fraction(),
+                        eta_s: live.redact(eta_s),
+                        t_s: live.now_s(),
+                    });
+                }
+            };
             match result {
                 Ok(out) => {
                     let r = JobResult::from_output(spec.id.clone(), out, wall_s);
@@ -245,6 +303,7 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
                         // by a previous run.
                         std::fs::remove_file(fail_path).ok();
                     }
+                    job_end("ok", r.sim_cycles);
                     progress_line(
                         cfg.progress,
                         done,
@@ -253,6 +312,7 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
                         &spec.id.to_string(),
                         "ok",
                         wall_s,
+                        eta_s,
                     );
                     slots[pending[k]] = Some(r);
                 }
@@ -268,6 +328,7 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
                         let (_, fail_path) = job_paths(dir, spec);
                         write_atomic(&fail_path, &record.to_json());
                     }
+                    job_end(e.kind(), 0);
                     progress_line(
                         cfg.progress,
                         done,
@@ -276,12 +337,22 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
                         &spec.id.to_string(),
                         e.kind(),
                         wall_s,
+                        eta_s,
                     );
                     failures_by_index.push((pending[k], record));
                 }
             }
         },
     );
+    if let Some(live) = cfg.live.as_ref() {
+        live.emit(&LiveRecord::SweepEnd {
+            done: outcome.executed as u64,
+            total: total as u64,
+            failed: failures_by_index.len() as u64,
+            wall_s: live.redact(t0.elapsed().as_secs_f64()),
+            t_s: live.now_s(),
+        });
+    }
     // Results and failures in registration order, not completion
     // order — this is what makes merged output schedule-independent.
     for r in slots.into_iter().flatten() {
@@ -293,7 +364,10 @@ pub fn run_sweep(specs: &[JobSpec], cfg: &SweepConfig) -> SweepOutcome {
     outcome
 }
 
-/// Prints one per-job progress line with a running ETA.
+/// Prints one per-job progress line with a running ETA. `eta` comes
+/// from the budget-weighted [`EtaTracker`], so heavy cells no longer
+/// skew the projection the way a plain per-job average did.
+#[allow(clippy::too_many_arguments)]
 fn progress_line(
     mode: Progress,
     done: usize,
@@ -302,16 +376,12 @@ fn progress_line(
     id: &str,
     status: &str,
     wall_s: f64,
+    eta: f64,
 ) {
     if mode != Progress::PerJob {
         return;
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    let eta = if done > 0 {
-        elapsed / done as f64 * (total - done) as f64
-    } else {
-        0.0
-    };
     let flag = if status == "ok" { "" } else { " FAILED" };
     eprintln!(
         "[{done:>4}/{total}] {status:<6} {id:<48} {wall_s:>7.2}s  elapsed {elapsed:>6.1}s  eta {eta:>6.1}s{flag}"

@@ -12,6 +12,7 @@
 //! * [`trace`] — cycle-level trace events, sinks, and exporters.
 //! * [`metrics`] — metrics registry, run manifests, regression compare.
 //! * [`hostprof`] — host-side self-profiling (wall-time phase timers).
+//! * [`live`] — streaming NDJSON run telemetry, SSE server, dashboard.
 //! * [`sweep`] — parallel, fault-isolated experiment-execution engine.
 //! * [`analyze`] — CPI stacks, critical-path attribution, what-if projections.
 
@@ -20,6 +21,7 @@ pub use gscalar_compress as compress;
 pub use gscalar_core as core;
 pub use gscalar_hostprof as hostprof;
 pub use gscalar_isa as isa;
+pub use gscalar_live as live;
 pub use gscalar_metrics as metrics;
 pub use gscalar_power as power;
 pub use gscalar_sim as sim;
